@@ -1,0 +1,61 @@
+"""Training on heterogeneous data sources (the Figure 7 scenario).
+
+Eight clients hold data from four stylistically distinct sources
+(arxiv / c4 / wikipedia / gutenberg, two clients per source).  The
+script contrasts full participation with a 50%-sampled partial
+participation run, evaluating both on the C4 distribution — the
+paper's robustness-to-heterogeneity experiment in miniature.
+
+Run:
+    python examples/heterogeneous_pile.py
+"""
+
+from __future__ import annotations
+
+from repro import Photon
+from repro.config import FedConfig, ModelConfig, OptimConfig
+from repro.data import SyntheticPile, kernel_divergence
+
+MODEL = ModelConfig("pile-demo", n_blocks=1, d_model=16, n_heads=2,
+                    vocab_size=32, seq_len=16)
+OPTIM = OptimConfig(max_lr=4e-3, warmup_steps=4, schedule_steps=256,
+                    batch_size=4, weight_decay=0.0)
+ROUNDS = 8
+LOCAL_STEPS = 8
+
+
+def main() -> None:
+    # How different are the sources?  (mean total-variation distance
+    # between transition kernels — our measurable notion of non-IID.)
+    pile = SyntheticPile(vocab=MODEL.vocab_size, seed=3)
+    names = list(pile.sources)
+    print("pairwise source divergence (0 = identical):")
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            div = kernel_divergence(pile.sources[a].kernel, pile.sources[b].kernel)
+            print(f"  {a:>10} vs {b:<10}: {div:.3f}")
+
+    runs = {
+        "full participation": FedConfig(population=8, clients_per_round=8,
+                                        local_steps=LOCAL_STEPS, rounds=ROUNDS),
+        "50% participation": FedConfig(population=8, clients_per_round=4,
+                                       local_steps=LOCAL_STEPS, rounds=ROUNDS,
+                                       seed=11),
+    }
+    curves = {}
+    for label, fed in runs.items():
+        photon = Photon(MODEL, fed, OPTIM, corpus="pile", heterogeneity=1.0,
+                        data_seed=3)
+        curves[label] = photon.train().val_perplexities
+
+    print("\nvalidation perplexity on the C4 distribution:")
+    print("round  " + "  ".join(f"{label:>20}" for label in curves))
+    for r in range(ROUNDS):
+        print(f"{r:>5}  " + "  ".join(f"{curves[label][r]:>20.2f}"
+                                      for label in curves))
+    print("\nfull participation tracks the IID behaviour; partial "
+          "participation fluctuates more but still converges (Fig. 7).")
+
+
+if __name__ == "__main__":
+    main()

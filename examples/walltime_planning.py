@@ -1,0 +1,73 @@
+"""Deployment planning with the wall-time model (no training needed).
+
+Given the paper's Figure 2 federation and a model size, this script
+answers the questions an operator would ask before committing GPUs:
+
+* which aggregation topology is fastest at each cohort size?
+* where should the parameter server live?
+* how much slower would per-step DDP be on the same links?
+
+Run:
+    python examples/walltime_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.config import PAPER_MODELS, PAPER_THROUGHPUTS, WallTimeConfig
+from repro.net import (
+    WallTimeModel,
+    gbps_to_mbps,
+    paper_topology,
+    reduction_factor,
+)
+
+MODEL_NAME = "1.3B"
+LOCAL_STEPS = 500
+ROUNDS = 20
+
+
+def main() -> None:
+    topo = paper_topology()
+    model = PAPER_MODELS[MODEL_NAME]
+    model_mb = model.param_bytes / 2**20
+    nu = PAPER_THROUGHPUTS[MODEL_NAME]["federated"]
+
+    # Where should the PS live?  Pick the region whose slowest client
+    # link is fastest.
+    host, host_bw = topo.best_ps_host()
+    ring, ring_bw = topo.best_ring()
+    print(f"best PS host     : {host} (worst client link {host_bw} Gbps)")
+    print(f"best RAR ring    : {' -> '.join(ring)} (bottleneck {ring_bw} Gbps)")
+
+    print(f"\nper-round timing for {MODEL_NAME} "
+          f"({model_mb:.0f} MB payload, tau={LOCAL_STEPS}, nu={nu}):")
+    print(f"{'clients':>8}  {'PS (s)':>10}  {'AR (s)':>10}  {'RAR (s)':>10}  "
+          f"{'best':>5}")
+    for clients in (2, 4, 8, 16):
+        times = {}
+        for topology, bw in (("ps", host_bw), ("ar", 2.5), ("rar", ring_bw)):
+            wt = WallTimeModel(WallTimeConfig(
+                throughput=nu, bandwidth_mbps=gbps_to_mbps(bw),
+                model_mb=model_mb))
+            times[topology] = wt.round_timing(topology, clients,
+                                              LOCAL_STEPS).total_s
+        best = min(times, key=times.get)
+        print(f"{clients:>8}  {times['ps']:>10.1f}  {times['ar']:>10.1f}  "
+              f"{times['rar']:>10.1f}  {best.upper():>5}")
+
+    # How much communication does LocalSGD save over per-step DDP?
+    factor = reduction_factor(model.param_bytes,
+                              total_steps=ROUNDS * LOCAL_STEPS,
+                              local_steps=LOCAL_STEPS, workers=8)
+    print(f"\ncommunication volume vs per-step DDP: {factor:.0f}x less")
+
+    # Full-run projection at the ring bottleneck.
+    wt = WallTimeModel(WallTimeConfig(
+        throughput=nu, bandwidth_mbps=gbps_to_mbps(ring_bw), model_mb=model_mb))
+    total = wt.total_wall_time_s("rar", 8, LOCAL_STEPS, ROUNDS)
+    print(f"projected wall time for {ROUNDS} rounds x {LOCAL_STEPS} steps "
+          f"on 8 clients: {total / 3600:.1f} h")
+
+
+if __name__ == "__main__":
+    main()

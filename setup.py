@@ -1,0 +1,6 @@
+"""Legacy setup shim: keeps ``pip install -e .`` working on
+environments without the ``wheel`` package (offline CI images)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``     run a federated (Photon) pre-training job
+``diloco``    run the DiLoCo baseline on the same plumbing
+``walltime``  evaluate the Appendix B.1 wall-time model
+``topology``  analyze the Figure 2 federation topology
+``info``      print the paper presets (Tables 1/4/5/6)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import (
+    PAPER_MODELS,
+    PAPER_RESOURCES,
+    PAPER_THROUGHPUTS,
+    TINY_MODELS,
+    FedConfig,
+    ModelConfig,
+    OptimConfig,
+    WallTimeConfig,
+    model_config,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Photon federated LLM pre-training (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="run a federated Photon job")
+    train.add_argument("--model", default="tiny",
+                       help="model preset name (see `repro info`)")
+    train.add_argument("--clients", type=int, default=4)
+    train.add_argument("--sampled", type=int, default=None,
+                       help="clients per round (default: all)")
+    train.add_argument("--local-steps", type=int, default=16)
+    train.add_argument("--rounds", type=int, default=4)
+    train.add_argument("--batch-size", type=int, default=4)
+    train.add_argument("--max-lr", type=float, default=4e-3)
+    train.add_argument("--corpus", choices=["c4", "pile"], default="c4")
+    train.add_argument("--heterogeneity", type=float, default=1.0)
+    train.add_argument("--server-opt", default="fedavg",
+                       choices=["fedavg", "fedmom", "fedadam"])
+    train.add_argument("--seed", type=int, default=0)
+
+    diloco = sub.add_parser("diloco", help="run the DiLoCo baseline")
+    diloco.add_argument("--model", default="tiny")
+    diloco.add_argument("--clients", type=int, default=4)
+    diloco.add_argument("--local-steps", type=int, default=16)
+    diloco.add_argument("--rounds", type=int, default=4)
+    diloco.add_argument("--batch-size", type=int, default=4)
+    diloco.add_argument("--max-lr", type=float, default=4e-3)
+    diloco.add_argument("--server-lr", type=float, default=0.1)
+
+    walltime = sub.add_parser("walltime", help="evaluate the wall-time model")
+    walltime.add_argument("--model", default="125M")
+    walltime.add_argument("--clients", type=int, default=8)
+    walltime.add_argument("--local-steps", type=int, default=500)
+    walltime.add_argument("--rounds", type=int, default=20)
+    walltime.add_argument("--bandwidth-gbps", type=float, default=10.0)
+    walltime.add_argument("--topology", choices=["ps", "ar", "rar"], default="rar")
+    walltime.add_argument("--overlap", action="store_true",
+                          help="overlap communication with compute (App. B.2)")
+
+    sub.add_parser("topology", help="analyze the Figure 2 federation")
+    sub.add_parser("info", help="print paper presets")
+    return parser
+
+
+def _warmup_for(total_steps: int) -> int:
+    """Warmup length that always leaves room for the cosine phase."""
+    return max(1, min(total_steps // 4, total_steps - 1))
+
+
+def _cmd_train(args) -> int:
+    from .fed import Photon
+
+    model = model_config(args.model)
+    sampled = args.sampled or args.clients
+    fed = FedConfig(population=args.clients, clients_per_round=sampled,
+                    local_steps=args.local_steps, rounds=args.rounds,
+                    server_opt=args.server_opt, seed=args.seed)
+    optim = OptimConfig(max_lr=args.max_lr,
+                        warmup_steps=_warmup_for(fed.total_client_steps),
+                        schedule_steps=fed.total_client_steps,
+                        batch_size=args.batch_size, weight_decay=0.0)
+    photon = Photon(model, fed, optim, corpus=args.corpus,
+                    heterogeneity=args.heterogeneity)
+    history = photon.train()
+    print("round  val_ppl  train_ppl")
+    for record in history:
+        print(f"{record.round_idx:>5}  {record.val_perplexity:>7.2f}  "
+              f"{record.train_perplexity:>9.2f}")
+    result = photon.result()
+    print(f"best perplexity : {result.best_perplexity:.2f}")
+    print(f"comm bytes      : {result.total_comm_bytes:,}")
+    return 0
+
+
+def _cmd_diloco(args) -> int:
+    from .data import CachedTokenStream, SyntheticC4
+    from .fed import build_diloco
+
+    model = model_config(args.model)
+    c4 = SyntheticC4(num_shards=max(args.clients, 2), vocab=model.vocab_size)
+    streams = {
+        f"c{i}": CachedTokenStream(c4.shard(i), batch_size=args.batch_size,
+                                   seq_len=model.seq_len, seed=i)
+        for i in range(args.clients)
+    }
+    val = CachedTokenStream(c4.validation(), batch_size=8,
+                            seq_len=model.seq_len, seed=999)
+    fed = FedConfig(population=args.clients, clients_per_round=args.clients,
+                    local_steps=args.local_steps, rounds=args.rounds)
+    optim = OptimConfig(max_lr=args.max_lr,
+                        warmup_steps=_warmup_for(fed.total_client_steps),
+                        schedule_steps=fed.total_client_steps,
+                        batch_size=args.batch_size, weight_decay=0.0)
+    agg = build_diloco(model, streams, optim, fed, val_stream=val,
+                       server_lr=args.server_lr)
+    history = agg.run(args.rounds, args.local_steps)
+    print("round  val_ppl")
+    for record in history:
+        print(f"{record.round_idx:>5}  {record.val_perplexity:>7.2f}")
+    return 0
+
+
+def _cmd_walltime(args) -> int:
+    from .net import WallTimeModel, gbps_to_mbps
+
+    model = model_config(args.model)
+    nu = PAPER_THROUGHPUTS.get(args.model, {}).get("federated", 2.0)
+    wt = WallTimeModel(WallTimeConfig(
+        throughput=nu,
+        bandwidth_mbps=gbps_to_mbps(args.bandwidth_gbps),
+        model_mb=model.param_bytes / 2**20,
+    ))
+    timing = wt.round_timing(args.topology, args.clients, args.local_steps,
+                             overlap=args.overlap)
+    total = args.rounds * timing.total_s
+    print(f"model payload   : {model.param_bytes / 2**20:.0f} MB")
+    print(f"round compute   : {timing.compute_s:.1f} s")
+    print(f"round comm      : {timing.comm_s:.1f} s "
+          f"({100 * timing.comm_fraction:.2f}% of the round)")
+    print(f"total wall time : {total / 3600:.2f} h over {args.rounds} rounds")
+    return 0
+
+
+def _cmd_topology(_args) -> int:
+    from .net import paper_topology
+
+    topo = paper_topology()
+    print("links (Gbps):")
+    for a, b in topo.graph.edges:
+        print(f"  {a:>12} -- {b:<12} {topo.bandwidth(a, b):>5.1f}")
+    ring, ring_bw = topo.best_ring()
+    host, host_bw = topo.best_ps_host()
+    print(f"best RAR ring : {' -> '.join(ring)} (bottleneck {ring_bw} Gbps)")
+    print(f"best PS host  : {host} (worst client link {host_bw} Gbps)")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    print("paper models (Table 4):")
+    for name, cfg in PAPER_MODELS.items():
+        print(f"  {name:>5}: blocks={cfg.n_blocks:<3} d={cfg.d_model:<5} "
+              f"heads={cfg.n_heads:<3} ~{cfg.n_params / 1e6:,.0f}M params")
+    print("tiny presets (CPU-scale):")
+    for name, cfg in TINY_MODELS.items():
+        print(f"  {name:>5}: blocks={cfg.n_blocks:<3} d={cfg.d_model:<5} "
+              f"~{cfg.n_params:,} params")
+    print("regional resources (Table 1):")
+    for size, regions in PAPER_RESOURCES.items():
+        spec = ", ".join(f"{r}: {c}x{g} H100" for r, (c, g) in regions.items())
+        print(f"  {size:>5}: {spec}")
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "diloco": _cmd_diloco,
+    "walltime": _cmd_walltime,
+    "topology": _cmd_topology,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

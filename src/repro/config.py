@@ -1,0 +1,280 @@
+"""Configuration dataclasses and paper presets.
+
+This module centralizes every hyperparameter the paper publishes:
+
+* Table 4 — model architectures (75M … 7B),
+* Table 5 — centralized/federated optimization hyperparameters,
+* Table 6 — federated experiment setups,
+* Table 1 — regional compute resources,
+* Appendix B.1 — measured client throughputs ν (batches/second).
+
+The paper-scale models cannot be trained on CPU, so we also provide
+``TINY_MODELS``: architecturally identical decoder-only configs scaled
+down to run in seconds, used by tests, examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "ModelConfig",
+    "OptimConfig",
+    "FedConfig",
+    "DataConfig",
+    "WallTimeConfig",
+    "PAPER_MODELS",
+    "TINY_MODELS",
+    "PAPER_HYPERPARAMS",
+    "PAPER_FED_SETUPS",
+    "PAPER_THROUGHPUTS",
+    "PAPER_RESOURCES",
+    "model_config",
+]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Decoder-only transformer architecture (paper Table 4 schema)."""
+
+    name: str
+    n_blocks: int
+    d_model: int
+    n_heads: int
+    expansion_ratio: int = 4
+    vocab_size: int = 50_368
+    seq_len: int = 2048
+    adam_betas: tuple[float, float] = (0.9, 0.95)
+    dropout: float = 0.0
+    tie_embeddings: bool = True
+    alibi: bool = True
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model={self.d_model} must be divisible by n_heads={self.n_heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def n_params(self) -> int:
+        """Approximate parameter count (embeddings + blocks + final LN)."""
+        d = self.d_model
+        per_block = (
+            4 * d * d + 4 * d  # attention qkv+proj weights and biases
+            + 2 * self.expansion_ratio * d * d  # mlp up/down
+            + self.expansion_ratio * d + d  # mlp biases
+            + 4 * d  # two layer norms
+        )
+        emb = self.vocab_size * d
+        head = 0 if self.tie_embeddings else self.vocab_size * d
+        return emb + self.n_blocks * per_block + 2 * d + head
+
+    @property
+    def param_bytes(self) -> int:
+        """Model size in bytes at 2 bytes/param (bfloat16, as trained)."""
+        return 2 * self.n_params
+
+    def scaled(self, **overrides) -> "ModelConfig":
+        """Return a copy with fields replaced (keyword only)."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class OptimConfig:
+    """Local/centralized optimization recipe (paper Table 5 schema).
+
+    ``max_lr`` decays to ``alpha_min * max_lr`` over ``schedule_steps``
+    cosine steps after ``warmup_steps`` of linear warmup.  The paper's
+    key trick (Section 3 / Appendix C.1): federated clients keep the
+    *small* hardware batch size but stretch the decay period by
+    ``B / B_small`` relative to the centralized recipe.
+    """
+
+    max_lr: float = 6.0e-4
+    alpha_min: float = 0.1
+    warmup_steps: int = 100
+    schedule_steps: int = 40_960
+    weight_decay: float = 0.1
+    grad_clip: float = 1.0
+    batch_size: int = 32
+    betas: tuple[float, float] = (0.9, 0.95)
+    eps: float = 1.0e-8
+
+    @property
+    def min_lr(self) -> float:
+        return self.alpha_min * self.max_lr
+
+
+@dataclass(frozen=True)
+class FedConfig:
+    """Federated run configuration (paper Table 6 schema)."""
+
+    population: int = 8
+    clients_per_round: int = 8
+    local_steps: int = 64
+    rounds: int = 20
+    server_lr: float = 1.0
+    server_momentum: float = 0.0
+    server_opt: str = "fedavg"
+    stateless_clients: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients_per_round > self.population:
+            raise ValueError(
+                f"clients_per_round={self.clients_per_round} exceeds "
+                f"population={self.population}"
+            )
+
+    @property
+    def participation(self) -> float:
+        return self.clients_per_round / self.population
+
+    @property
+    def total_client_steps(self) -> int:
+        return self.rounds * self.local_steps
+
+
+@dataclass(frozen=True)
+class DataConfig:
+    """Synthetic corpus configuration (C4/Pile substitutes)."""
+
+    corpus: str = "c4"
+    num_shards: int = 64
+    seq_len: int = 64
+    vocab: str = "char"
+    heterogeneity: float = 0.0
+    seed: int = 1234
+
+
+@dataclass(frozen=True)
+class WallTimeConfig:
+    """Inputs to the Appendix B.1 wall-time model.
+
+    Attributes
+    ----------
+    throughput:
+        ν, local batches per second.
+    bandwidth_mbps:
+        B, megabytes per second of the relevant (slowest) link.
+    model_mb:
+        S, model size in megabytes.
+    server_capacity:
+        ζ, server aggregation throughput (bytes/s equivalent); the
+        paper treats aggregation as negligible by default.
+    channel_threshold:
+        θ, the channel count above which bandwidth congestion scaling
+        applies (paper default 100).
+    """
+
+    throughput: float
+    bandwidth_mbps: float
+    model_mb: float
+    server_capacity: float = 5.0e12
+    channel_threshold: int = 100
+
+
+# ----------------------------------------------------------------------
+# Paper presets
+# ----------------------------------------------------------------------
+
+#: Table 4 — architecture details for the model family.
+PAPER_MODELS: dict[str, ModelConfig] = {
+    "75M": ModelConfig("75M", n_blocks=3, d_model=896, n_heads=16, seq_len=1024),
+    "125M": ModelConfig("125M", n_blocks=12, d_model=768, n_heads=12),
+    "350M": ModelConfig("350M", n_blocks=24, d_model=1024, n_heads=16),
+    "1.3B": ModelConfig("1.3B", n_blocks=24, d_model=2048, n_heads=16),
+    "3B": ModelConfig("3B", n_blocks=32, d_model=2560, n_heads=20),
+    "7B": ModelConfig("7B", n_blocks=32, d_model=4096, n_heads=32),
+}
+
+#: CPU-scale stand-ins used throughout tests/examples/benchmarks.  The
+#: three sizes preserve the paper's "family" structure so scale trends
+#: (Fig. 4, Tables 7/8) can be measured.
+TINY_MODELS: dict[str, ModelConfig] = {
+    "tiny": ModelConfig("tiny", n_blocks=2, d_model=32, n_heads=2, vocab_size=64, seq_len=32),
+    "small": ModelConfig("small", n_blocks=2, d_model=64, n_heads=4, vocab_size=64, seq_len=64),
+    "base": ModelConfig("base", n_blocks=4, d_model=96, n_heads=4, vocab_size=64, seq_len=64),
+    "large": ModelConfig("large", n_blocks=6, d_model=128, n_heads=8, vocab_size=64, seq_len=64),
+}
+
+#: Table 5 — optimization hyperparameters.  (cent) entries mirror the
+#: centralized baseline columns.
+PAPER_HYPERPARAMS: dict[str, dict[str, OptimConfig]] = {
+    "125M": {
+        "federated": OptimConfig(max_lr=6.0e-4, schedule_steps=40_960, batch_size=32),
+        "centralized": OptimConfig(max_lr=6.0e-4, schedule_steps=5_120, batch_size=256),
+    },
+    "1.3B": {
+        "federated": OptimConfig(max_lr=2.0e-4, schedule_steps=24_800, batch_size=512),
+        "centralized": OptimConfig(max_lr=2.0e-4, schedule_steps=24_800, batch_size=512),
+    },
+    "3B": {
+        "federated": OptimConfig(max_lr=1.6e-4, schedule_steps=51_500, batch_size=512),
+        "centralized": OptimConfig(max_lr=1.6e-4, schedule_steps=51_500, batch_size=512),
+    },
+    "7B": {
+        "federated": OptimConfig(max_lr=1.2e-4, schedule_steps=63_900, batch_size=1024),
+        "centralized": OptimConfig(max_lr=1.2e-4, schedule_steps=63_900, batch_size=1024),
+    },
+}
+
+#: Table 6 — federated experiment setups (population P, sampled K,
+#: dataset, local steps τ).
+PAPER_FED_SETUPS: dict[str, dict] = {
+    "125M": {
+        "population": [1, 2, 4, 8, 16],
+        "clients_per_round": [1, 2, 4, 8, 16],
+        "datasets": ["c4", "pile"],
+        "local_steps": [64, 128, 512],
+    },
+    "1.3B": {"population": [8], "clients_per_round": [8], "datasets": ["c4"], "local_steps": [500]},
+    "3B": {"population": [4], "clients_per_round": [4], "datasets": ["c4"], "local_steps": [500]},
+    "7B": {"population": [4], "clients_per_round": [4], "datasets": ["c4"], "local_steps": [500]},
+}
+
+#: Appendix B.1 — measured local throughputs ν in batches/second, keyed
+#: by model size then run mode.
+PAPER_THROUGHPUTS: dict[str, dict[str, float]] = {
+    "125M": {"federated": 2.0, "centralized": 2.0},
+    "1.3B": {"federated": 0.147, "centralized": 0.839},
+    "3B": {"federated": 0.144, "centralized": 0.395},
+    "7B": {"federated": 0.032, "centralized": 0.12},
+}
+
+#: Table 1 — computational resources per region: list of
+#: (num_clients, gpus_per_client) pairs keyed by model size and region.
+PAPER_RESOURCES: dict[str, dict[str, tuple[int, int]]] = {
+    "7B": {"England": (1, 8), "Utah": (1, 8), "Texas": (1, 8), "Quebec": (1, 8)},
+    "3B": {"England": (1, 4), "Utah": (1, 4), "Texas": (1, 4), "Quebec": (1, 4)},
+    "1B": {
+        "England": (1, 2),
+        "Utah": (2, 2),
+        "Texas": (2, 2),
+        "Quebec": (2, 4),
+        "Maharashtra": (1, 4),
+    },
+    "125M": {
+        "England": (2, 1),
+        "Utah": (2, 1),
+        "Texas": (2, 1),
+        "Quebec": (2, 1),
+        "Maharashtra": (2, 1),
+    },
+}
+
+
+def model_config(name: str) -> ModelConfig:
+    """Look up a model config by name across paper and tiny presets."""
+    if name in PAPER_MODELS:
+        return PAPER_MODELS[name]
+    if name in TINY_MODELS:
+        return TINY_MODELS[name]
+    raise KeyError(
+        f"unknown model {name!r}; available: "
+        f"{sorted(PAPER_MODELS) + sorted(TINY_MODELS)}"
+    )

@@ -1,0 +1,165 @@
+"""Data streams: the DS-side abstraction feeding LLM clients.
+
+The paper's Data Sources (Section 3.1) decouple storage from compute
+and stream batches to each LLM-C, with optional pre-tokenization,
+caching and stream mixing (Section 4, "Data Streaming for DS").  The
+classes here mirror that surface:
+
+* :class:`TokenStream` — on-line sampling straight from a source;
+* :class:`CachedTokenStream` — pre-tokenized ring buffer, the
+  "pre-tokenization + caching" optimization (and much faster, since
+  sampling happens once);
+* :class:`MixedStream` — weighted mixture over several streams;
+* :func:`partition_stream` — Algorithm 1's ``PartitionStream`` for
+  sub-federated nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, Sequence
+
+import numpy as np
+
+from .synthetic import MarkovSource
+
+__all__ = [
+    "BatchStream",
+    "TokenStream",
+    "CachedTokenStream",
+    "MixedStream",
+    "partition_stream",
+]
+
+
+class BatchStream(Protocol):
+    """Anything that yields ``(inputs, targets)`` batches forever."""
+
+    batch_size: int
+    seq_len: int
+
+    def next_batch(self) -> tuple[np.ndarray, np.ndarray]: ...
+
+
+class TokenStream:
+    """Stream batches sampled on-line from a Markov source.
+
+    Each batch is ``(x, y)`` with shape ``(batch_size, seq_len)`` where
+    ``y`` is ``x`` shifted by one (next-token prediction).
+    """
+
+    def __init__(self, source: MarkovSource, batch_size: int, seq_len: int,
+                 seed: int | None = None):
+        if batch_size < 1 or seq_len < 1:
+            raise ValueError("batch_size and seq_len must be >= 1")
+        self.source = source
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self._rng = np.random.default_rng(seed) if seed is not None else None
+        self.tokens_served = 0
+
+    def next_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        n = self.batch_size * (self.seq_len + 1)
+        tokens = self.source.sample_tokens(n, rng=self._rng)
+        tokens = tokens.reshape(self.batch_size, self.seq_len + 1)
+        self.tokens_served += self.batch_size * self.seq_len
+        return tokens[:, :-1], tokens[:, 1:]
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        while True:
+            yield self.next_batch()
+
+
+class CachedTokenStream:
+    """Pre-tokenized ring buffer over a source.
+
+    Samples ``cache_tokens`` once up front, then serves random windows
+    from the cache.  This is the reproduction's analogue of the
+    paper's DS-side pre-tokenization: pay tokenization once, stream
+    cheaply afterwards.
+    """
+
+    def __init__(self, source: MarkovSource, batch_size: int, seq_len: int,
+                 cache_tokens: int = 65_536, seed: int = 0):
+        if cache_tokens < (seq_len + 1) * 2:
+            raise ValueError("cache too small for the requested sequence length")
+        self.source = source
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self._rng = np.random.default_rng(seed)
+        self._cache = source.sample_tokens(cache_tokens, rng=np.random.default_rng(seed + 1))
+        self.tokens_served = 0
+
+    def next_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        max_start = self._cache.size - self.seq_len - 1
+        starts = self._rng.integers(0, max_start, size=self.batch_size)
+        offsets = np.arange(self.seq_len + 1)
+        windows = self._cache[starts[:, None] + offsets[None, :]]
+        self.tokens_served += self.batch_size * self.seq_len
+        return windows[:, :-1], windows[:, 1:]
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        while True:
+            yield self.next_batch()
+
+
+class MixedStream:
+    """Weighted mixture over component streams (public-DS sharing).
+
+    Each batch draws every row from one component chosen by weight,
+    giving "precise control over sampling across such streams"
+    (Section 4).
+    """
+
+    def __init__(self, streams: Sequence[BatchStream], weights: Sequence[float] | None = None,
+                 seed: int = 0):
+        if not streams:
+            raise ValueError("MixedStream needs at least one component")
+        sizes = {(s.batch_size, s.seq_len) for s in streams}
+        if len(sizes) != 1:
+            raise ValueError(f"component streams disagree on batch geometry: {sizes}")
+        self.streams = list(streams)
+        if weights is None:
+            weights = [1.0] * len(self.streams)
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.min() < 0 or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum to > 0")
+        self.weights = weights / weights.sum()
+        self.batch_size = self.streams[0].batch_size
+        self.seq_len = self.streams[0].seq_len
+        self._rng = np.random.default_rng(seed)
+
+    def next_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        choices = self._rng.choice(len(self.streams), size=self.batch_size, p=self.weights)
+        xs = np.empty((self.batch_size, self.seq_len), dtype=np.int64)
+        ys = np.empty_like(xs)
+        for stream_idx in np.unique(choices):
+            rows = np.where(choices == stream_idx)[0]
+            x, y = self.streams[stream_idx].next_batch()
+            xs[rows] = x[: rows.size]
+            ys[rows] = y[: rows.size]
+        return xs, ys
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        while True:
+            yield self.next_batch()
+
+
+def partition_stream(source: MarkovSource, n_parts: int, batch_size: int,
+                     seq_len: int, seed: int = 0,
+                     cached: bool = True) -> list[BatchStream]:
+    """Split one client's stream across sub-federated nodes.
+
+    Algorithm 1 L.22 (``PartitionStream``): the default policy is IID —
+    every node gets an independent stream over the same distribution.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    parts: list[BatchStream] = []
+    for i in range(n_parts):
+        node_source = MarkovSource(source.kernel, seed=seed * 1009 + i,
+                                   name=f"{source.name}/node{i}")
+        if cached:
+            parts.append(CachedTokenStream(node_source, batch_size, seq_len, seed=seed + i))
+        else:
+            parts.append(TokenStream(node_source, batch_size, seq_len, seed=seed + i))
+    return parts

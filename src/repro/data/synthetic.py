@@ -1,0 +1,309 @@
+"""Synthetic corpora standing in for C4 and The Pile.
+
+The paper partitions C4 [40] into 64 uniform shards for the IID
+experiments and uses four Pile [42] sources (ArXiv, C4, Wikipedia,
+Project Gutenberg) for the heterogeneity study (Section 5.1).  We
+cannot ship those corpora, so each *source* here is a seeded
+order-1 Markov chain over a shared character alphabet:
+
+* a transformer can learn a Markov chain essentially optimally, so
+  training curves have the same qualitative shape as real LM loss
+  curves (fast early drop, long tail);
+* distinct transition kernels per source give *measurable*
+  distribution shift between clients, which is exactly what the
+  non-IID experiments exercise;
+* the entropy rate of each kernel lower-bounds achievable loss, so
+  perplexity targets can be set relative to a known optimum.
+
+The chain is sparse (each state allows a handful of successors) which
+gives low entropy rates and a large learnable gap from the uniform
+baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tokenizer import CharTokenizer, DEFAULT_ALPHABET
+
+__all__ = [
+    "MarkovSource",
+    "RepetitionSource",
+    "make_kernel",
+    "make_source",
+    "mixed_kernel",
+    "PILE_SOURCE_NAMES",
+    "SyntheticC4",
+    "SyntheticPile",
+    "kernel_divergence",
+    "stationary_distribution",
+    "cross_perplexity",
+]
+
+#: The four Pile text sources used in Section 5.1.
+PILE_SOURCE_NAMES = ("arxiv", "c4", "wikipedia", "gutenberg")
+
+#: Per-source RNG seeds; any fixed distinct values work, these make
+#: the corpora deterministic across runs.
+_SOURCE_SEEDS = {"c4": 11, "arxiv": 23, "wikipedia": 37, "gutenberg": 53}
+
+
+def make_kernel(seed: int, vocab: int, successors: int, concentration: float,
+                 specials: int = 2) -> np.ndarray:
+    """Build a sparse row-stochastic transition matrix.
+
+    Each state transitions to ``successors`` successor states with
+    Dirichlet(concentration) weights.  Ids below ``specials`` (pad/unk)
+    are never emitted and self-loop formally (they are unreachable from
+    valid starts).
+    """
+    rng = np.random.default_rng(seed)
+    kernel = np.zeros((vocab, vocab), dtype=np.float64)
+    emittable = np.arange(specials, vocab)
+    for state in range(vocab):
+        if state < specials:
+            kernel[state, state] = 1.0
+            continue
+        succ = rng.choice(emittable, size=min(successors, emittable.size), replace=False)
+        weights = rng.dirichlet(np.full(succ.size, concentration))
+        kernel[state, succ] = weights
+    return kernel
+
+
+def mixed_kernel(base: np.ndarray, other: np.ndarray, heterogeneity: float) -> np.ndarray:
+    """Interpolate two kernels: 0 → identical to base (IID), 1 → fully
+    source-specific.  Used to dial non-IID-ness continuously."""
+    if not 0.0 <= heterogeneity <= 1.0:
+        raise ValueError(f"heterogeneity must be in [0, 1], got {heterogeneity}")
+    return (1.0 - heterogeneity) * base + heterogeneity * other
+
+
+def kernel_divergence(a: np.ndarray, b: np.ndarray, specials: int = 2) -> float:
+    """Mean total-variation distance between transition rows — a simple
+    scalar measure of how non-IID two sources are."""
+    rows = slice(specials, None)
+    return float(0.5 * np.abs(a[rows] - b[rows]).sum(axis=1).mean())
+
+
+class MarkovSource:
+    """A text source: a Markov kernel plus a seeded sampling stream.
+
+    ``sample_tokens(n)`` draws a token sequence; independent shards of
+    the same source share the kernel but use distinct RNG streams, so
+    shards are IID draws from one distribution (the paper's C4 setup).
+    """
+
+    def __init__(self, kernel: np.ndarray, seed: int, name: str = "source",
+                 specials: int = 2):
+        kernel = np.asarray(kernel, dtype=np.float64)
+        if kernel.ndim != 2 or kernel.shape[0] != kernel.shape[1]:
+            raise ValueError("kernel must be square")
+        row_sums = kernel.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-8):
+            raise ValueError("kernel rows must sum to 1")
+        self.kernel = kernel
+        self.name = name
+        self.specials = specials
+        self._rng = np.random.default_rng(seed)
+        self._cum = np.cumsum(kernel, axis=1)
+        self.vocab = kernel.shape[0]
+
+    def sample_tokens(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Sample ``n`` tokens by walking the chain (vectorized via
+        searchsorted over uniform draws, one lookup per step)."""
+        rng = rng or self._rng
+        out = np.empty(n, dtype=np.int64)
+        state = int(rng.integers(self.specials, self.vocab))
+        uniforms = rng.random(n)
+        for i in range(n):
+            row = self._cum[state]
+            state = int(np.searchsorted(row, uniforms[i], side="right"))
+            state = min(state, self.vocab - 1)
+            out[i] = state
+        return out
+
+    def entropy_rate(self) -> float:
+        """Entropy rate in nats under the stationary distribution —
+        the theoretical floor for LM loss on this source."""
+        # Stationary distribution via power iteration on emittable states.
+        pi = np.full(self.vocab, 1.0 / (self.vocab - self.specials))
+        pi[: self.specials] = 0.0
+        for _ in range(200):
+            pi = pi @ self.kernel
+            pi /= pi.sum()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_k = np.where(self.kernel > 0, np.log(self.kernel), 0.0)
+        row_entropy = -(self.kernel * log_k).sum(axis=1)
+        return float((pi * row_entropy).sum())
+
+    def optimal_perplexity(self) -> float:
+        """exp(entropy rate): the best achievable perplexity."""
+        return float(np.exp(self.entropy_rate()))
+
+
+def stationary_distribution(kernel: np.ndarray, specials: int = 2,
+                            iterations: int = 300) -> np.ndarray:
+    """Stationary distribution of a Markov kernel via power iteration
+    (special tokens carry zero mass)."""
+    pi = np.full(kernel.shape[0], 1.0 / (kernel.shape[0] - specials))
+    pi[:specials] = 0.0
+    for _ in range(iterations):
+        pi = pi @ kernel
+        pi /= pi.sum()
+    return pi
+
+
+def cross_perplexity(true_kernel: np.ndarray, predictor_kernel: np.ndarray,
+                     specials: int = 2) -> float:
+    """Perplexity of the best model of ``predictor_kernel`` evaluated
+    on text drawn from ``true_kernel``.
+
+    This is the achievable *floor* for a model trained on one
+    distribution (e.g. the four-source Pile mixture) and evaluated on
+    another (the C4 validation set) — the right normalizer for the
+    heterogeneity experiments, where the mixture-trained model cannot
+    reach the in-distribution optimum.
+    """
+    pi = stationary_distribution(true_kernel, specials)
+    log_pred = np.where(true_kernel > 0,
+                        np.log(np.maximum(predictor_kernel, 1e-12)), 0.0)
+    cross_entropy = -(pi[:, None] * true_kernel * log_pred).sum()
+    return float(np.exp(cross_entropy))
+
+
+class RepetitionSource:
+    """Markov text with verbatim repeated spans.
+
+    Real text repeats itself (names, phrases, quotations); pure
+    order-1 Markov text does not, which makes in-context skills like
+    copying and induction unlearnable from it.  This wrapper emits
+    Markov text where every span of ``span`` tokens is immediately
+    repeated, giving models a pre-training signal for the
+    copy/induction downstream tasks (Tables 7/8).  Learning to exploit
+    it requires attention composition (≥ 2 transformer blocks), so
+    task accuracy becomes capacity-dependent — the property the
+    downstream comparison measures.
+    """
+
+    def __init__(self, base: MarkovSource, span: int = 8, repeat_prob: float = 1.0,
+                 seed: int = 0):
+        if span < 1:
+            raise ValueError("span must be >= 1")
+        if not 0.0 <= repeat_prob <= 1.0:
+            raise ValueError("repeat_prob must be in [0, 1]")
+        self.base = base
+        self.span = span
+        self.repeat_prob = repeat_prob
+        self.vocab = base.vocab
+        self.name = f"{base.name}+rep{span}"
+        self._rng = np.random.default_rng(seed)
+
+    def sample_tokens(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        rng = rng or self._rng
+        pieces: list[np.ndarray] = []
+        total = 0
+        while total < n:
+            segment = self.base.sample_tokens(self.span, rng=rng)
+            pieces.append(segment)
+            total += segment.size
+            if rng.random() < self.repeat_prob:
+                pieces.append(segment.copy())
+                total += segment.size
+        return np.concatenate(pieces)[:n]
+
+
+def make_source(name: str, vocab: int | None = None, seed_offset: int = 0,
+                heterogeneity: float = 1.0) -> MarkovSource:
+    """Construct one of the named sources.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`PILE_SOURCE_NAMES` (``"c4"`` doubles as the C4
+        corpus source).
+    vocab:
+        Vocabulary size; defaults to the char tokenizer's.
+    heterogeneity:
+        0 makes every source identical to the shared base kernel
+        (IID control); 1 keeps sources fully distinct.
+    """
+    if name not in _SOURCE_SEEDS:
+        raise KeyError(f"unknown source {name!r}; available: {sorted(_SOURCE_SEEDS)}")
+    vocab = vocab or CharTokenizer(DEFAULT_ALPHABET).vocab_size
+    base = make_kernel(seed=7, vocab=vocab, successors=4, concentration=0.6)
+    specific = make_kernel(seed=_SOURCE_SEEDS[name], vocab=vocab,
+                            successors=4, concentration=0.6)
+    kernel = mixed_kernel(base, specific, heterogeneity)
+    return MarkovSource(kernel, seed=_SOURCE_SEEDS[name] + seed_offset, name=name)
+
+
+class SyntheticC4:
+    """C4 substitute: one source, uniformly sharded.
+
+    Mirrors Section 5.1: "randomly partitioning the C4 dataset
+    uniformly into 64 equally sized shards.  N clients refer to a
+    subset of N shards."  All shards share the kernel and differ only
+    in their RNG stream, i.e. the partition is IID.
+    """
+
+    def __init__(self, num_shards: int = 64, vocab: int | None = None, seed: int = 0):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self.seed = seed
+        self.source = make_source("c4", vocab=vocab, seed_offset=seed)
+
+    def shard(self, index: int) -> MarkovSource:
+        """Return shard ``index`` as an independently-seeded source."""
+        if not 0 <= index < self.num_shards:
+            raise IndexError(f"shard index {index} out of range [0, {self.num_shards})")
+        return MarkovSource(self.source.kernel, seed=1000 + self.seed * 97 + index,
+                            name=f"c4-shard{index}")
+
+    def validation(self) -> MarkovSource:
+        """Held-out stream (distinct RNG stream, same distribution) —
+        the stand-in for the C4 validation set."""
+        return MarkovSource(self.source.kernel, seed=999_983 + self.seed,
+                            name="c4-validation")
+
+
+class SyntheticPile:
+    """Pile substitute: four stylistically distinct sources.
+
+    ``client_sources(n_clients)`` reproduces the paper's three
+    configurations: 4 clients (one source each), 8 (each source split
+    in two), 16 (each source split in four).
+    """
+
+    def __init__(self, vocab: int | None = None, seed: int = 0,
+                 heterogeneity: float = 1.0):
+        self.seed = seed
+        self.heterogeneity = heterogeneity
+        self.sources = {
+            name: make_source(name, vocab=vocab, seed_offset=seed,
+                              heterogeneity=heterogeneity)
+            for name in PILE_SOURCE_NAMES
+        }
+
+    def client_sources(self, n_clients: int) -> list[MarkovSource]:
+        """Assign sources to clients per the Section 5.1 recipe."""
+        if n_clients % len(PILE_SOURCE_NAMES) != 0:
+            raise ValueError(
+                f"n_clients must be a multiple of {len(PILE_SOURCE_NAMES)}, got {n_clients}"
+            )
+        splits = n_clients // len(PILE_SOURCE_NAMES)
+        clients = []
+        for name in PILE_SOURCE_NAMES:
+            kernel = self.sources[name].kernel
+            for j in range(splits):
+                clients.append(
+                    MarkovSource(kernel, seed=5000 + self.seed * 131 + len(clients),
+                                 name=f"{name}-part{j}")
+                )
+        return clients
+
+    def validation(self) -> MarkovSource:
+        """C4-distribution validation stream (the paper evaluates the
+        Pile runs on the C4 validation set)."""
+        c4 = self.sources["c4"]
+        return MarkovSource(c4.kernel, seed=888_887 + self.seed, name="pile-validation")

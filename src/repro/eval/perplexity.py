@@ -1,0 +1,30 @@
+"""Perplexity evaluation of a language model on a stream."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.stream import BatchStream
+from ..nn import DecoderLM
+from ..tensor import no_grad
+
+__all__ = ["evaluate_loss", "evaluate_perplexity"]
+
+
+def evaluate_loss(model: DecoderLM, stream: BatchStream, n_batches: int = 4) -> float:
+    """Mean token-level cross-entropy over ``n_batches`` batches."""
+    if n_batches < 1:
+        raise ValueError("n_batches must be >= 1")
+    model.eval()
+    losses = np.empty(n_batches, dtype=np.float64)
+    with no_grad():
+        for i in range(n_batches):
+            x, y = stream.next_batch()
+            losses[i] = float(model.loss(x, y).data)
+    model.train()
+    return float(losses.mean())
+
+
+def evaluate_perplexity(model: DecoderLM, stream: BatchStream, n_batches: int = 4) -> float:
+    """exp(mean loss) — the paper's headline metric."""
+    return float(np.exp(evaluate_loss(model, stream, n_batches)))

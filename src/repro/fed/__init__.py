@@ -1,0 +1,84 @@
+"""Federated core: Photon, its components, and the baselines."""
+
+from .aggregator import Aggregator
+from .centralized import CentralizedResult, CentralizedTrainer
+from .checkpoint import CheckpointManager
+from .client import LLMClient
+from .continual import PersonalizationResult, continue_pretraining, personalize
+from .contrib import ContributionTracker, PowerOfChoiceSampler, cosine_alignment
+from .faults import ClientFailure, FailureModel, FaultPolicy
+from .ties import TiesAggregator, ties_merge
+from .diloco import DILOCO_SERVER_LRS, build_diloco
+from .hyperopt import Candidate, TrialResult, successive_halving
+from .link import Link, Message, SecureAggregator
+from .photon import Photon, PhotonResult
+from .postprocess import (
+    ClipUpdate,
+    Compose,
+    DPGaussianNoise,
+    Identity,
+    PostProcessor,
+    TopKSparsify,
+)
+from .sampler import (
+    AvailabilityModel,
+    ClientSampler,
+    FullParticipation,
+    UniformSampler,
+)
+from .server_opt import (
+    FedAdam,
+    FedAvg,
+    FedMom,
+    NesterovOuter,
+    ServerOpt,
+    make_server_opt,
+)
+from .types import ClientUpdate, RoundInfo
+
+__all__ = [
+    "Photon",
+    "PhotonResult",
+    "Aggregator",
+    "LLMClient",
+    "ClientUpdate",
+    "RoundInfo",
+    "Link",
+    "Message",
+    "SecureAggregator",
+    "CheckpointManager",
+    "ServerOpt",
+    "FedAvg",
+    "FedMom",
+    "FedAdam",
+    "NesterovOuter",
+    "make_server_opt",
+    "ClientSampler",
+    "UniformSampler",
+    "FullParticipation",
+    "AvailabilityModel",
+    "PostProcessor",
+    "Identity",
+    "Compose",
+    "ClipUpdate",
+    "DPGaussianNoise",
+    "TopKSparsify",
+    "CentralizedTrainer",
+    "CentralizedResult",
+    "build_diloco",
+    "DILOCO_SERVER_LRS",
+    "ContributionTracker",
+    "PowerOfChoiceSampler",
+    "cosine_alignment",
+    "Candidate",
+    "TrialResult",
+    "successive_halving",
+    "ClientFailure",
+    "FailureModel",
+    "FaultPolicy",
+    "TiesAggregator",
+    "ties_merge",
+    "PersonalizationResult",
+    "personalize",
+    "continue_pretraining",
+]

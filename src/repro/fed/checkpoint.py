@@ -1,0 +1,105 @@
+"""Checkpointing for fast recovery (Algorithm 1 L.11 and L.26).
+
+The aggregator checkpoints the global model every round; clients may
+checkpoint their local state for quick recovery.  Checkpoints are NumPy
+``.npz`` archives with a tiny JSON sidecar of metadata, and the
+manager keeps a bounded number of recent checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from ..utils.serialization import StateDict
+
+__all__ = ["CheckpointManager"]
+
+
+class CheckpointManager:
+    """Rotating on-disk checkpoints with optional async writes.
+
+    Algorithm 1 L.11 checkpoints the global model *asynchronously* so
+    aggregation never blocks on disk; :meth:`save_async` copies the
+    state and hands the write to a background thread, and
+    :meth:`wait` flushes pending writes (call before loading).
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3, prefix: str = "round"):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.prefix = prefix
+        self._pending: list[threading.Thread] = []
+        self._io_lock = threading.Lock()
+
+    def _path(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}_{step:08d}.npz"
+
+    def save(self, step: int, state: StateDict, metadata: dict | None = None) -> Path:
+        """Write a checkpoint and prune old ones."""
+        path = self._path(step)
+        with self._io_lock:
+            np.savez(path, **{k: np.asarray(v, dtype=np.float32)
+                              for k, v in state.items()})
+            meta = {"step": step, **(metadata or {})}
+            path.with_suffix(".json").write_text(json.dumps(meta))
+            self._prune()
+        return path
+
+    def save_async(self, step: int, state: StateDict,
+                   metadata: dict | None = None) -> threading.Thread:
+        """Checkpoint on a background thread (L.11, "Async
+        checkpointing").  The state is snapshot-copied immediately so
+        the caller may keep mutating the live model."""
+        snapshot = {k: np.array(v, copy=True) for k, v in state.items()}
+        thread = threading.Thread(
+            target=self.save, args=(step, snapshot, metadata), daemon=True
+        )
+        thread.start()
+        self._pending = [t for t in self._pending if t.is_alive()]
+        self._pending.append(thread)
+        return thread
+
+    def wait(self) -> None:
+        """Block until all async checkpoint writes have finished."""
+        for thread in self._pending:
+            thread.join()
+        self._pending.clear()
+
+    def _prune(self) -> None:
+        checkpoints = self.list_checkpoints()
+        for step in checkpoints[: -self.keep]:
+            self._path(step).unlink(missing_ok=True)
+            self._path(step).with_suffix(".json").unlink(missing_ok=True)
+
+    def list_checkpoints(self) -> list[int]:
+        """Available checkpoint steps, oldest first."""
+        steps = []
+        for path in self.directory.glob(f"{self.prefix}_*.npz"):
+            try:
+                steps.append(int(path.stem.split("_")[-1]))
+            except ValueError:
+                continue
+        return sorted(steps)
+
+    def load(self, step: int | None = None) -> tuple[int, StateDict, dict]:
+        """Load a checkpoint (latest if ``step`` is None)."""
+        available = self.list_checkpoints()
+        if not available:
+            raise FileNotFoundError(f"no checkpoints under {self.directory}")
+        if step is None:
+            step = available[-1]
+        if step not in available:
+            raise FileNotFoundError(f"no checkpoint for step {step}; have {available}")
+        path = self._path(step)
+        with np.load(path) as archive:
+            state = {k: archive[k].copy() for k in archive.files}
+        meta_path = path.with_suffix(".json")
+        metadata = json.loads(meta_path.read_text()) if meta_path.exists() else {}
+        return step, state, metadata

@@ -1,0 +1,215 @@
+"""LLM Client (LLM-C): the local training pipeline (Algorithm 1 L.13–28).
+
+Each client owns a persistent model workspace, one or more data
+streams, and an optimizer whose state is reset every round by default
+— the paper's *stateless local optimization* (Appendix A), which lets
+sporadic clients join/leave and keeps communication parameter-only.
+
+The client resolves an execution plan from its hardware (single GPU /
+DDP / FSDP / sub-federation; Section 4 heuristic) and runs ``τ`` local
+AdamW steps with the globally synchronized LR schedule, then returns
+the pseudo-gradient ``θ_t − θ_k`` through its post-processing pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ModelConfig, OptimConfig
+from ..data.stream import BatchStream
+from ..nn import DecoderLM
+from ..optim import AdamW, LRSchedule, clip_grad_norm
+from ..parallel import DDPEngine, ExecutionPlan, FSDPEngine, SiloSpec, select_strategy
+from ..utils.serialization import StateDict, tree_mean, tree_sub
+from .checkpoint import CheckpointManager
+from .postprocess import Identity, PostProcessor
+from .types import ClientUpdate, RoundInfo
+
+__all__ = ["LLMClient"]
+
+
+class LLMClient:
+    """A federated participant.
+
+    Parameters
+    ----------
+    client_id:
+        Unique name within the federation.
+    model_config:
+        Architecture of the global model.
+    streams:
+        Data streams.  One stream = one training node; several streams
+        enable the sub-federated path (Algorithm 1 L.19–25) where each
+        node trains on its own partition and the client averages.
+    optim:
+        Local optimizer hyperparameters (AdamW per the paper).
+    schedule:
+        LR schedule shared across rounds, indexed by *global* client
+        step.
+    silo:
+        Optional hardware description; when provided, the Section 4
+        strategy heuristic decides single/DDP/FSDP execution.
+    stateless:
+        Reset optimizer momenta each round (Photon default).  DiLoCo
+        style runs set this to False to retain local AdamW state.
+    """
+
+    def __init__(self, client_id: str, model_config: ModelConfig,
+                 streams: list[BatchStream] | BatchStream,
+                 optim: OptimConfig, schedule: LRSchedule,
+                 silo: SiloSpec | None = None,
+                 stateless: bool = True,
+                 post_process: PostProcessor | None = None,
+                 proximal_mu: float = 0.0,
+                 checkpointer: CheckpointManager | None = None,
+                 seed: int = 0):
+        self.client_id = client_id
+        self.model_config = model_config
+        self.streams: list[BatchStream] = (
+            list(streams) if isinstance(streams, (list, tuple)) else [streams]
+        )
+        if not self.streams:
+            raise ValueError("client needs at least one data stream")
+        self.optim_config = optim
+        self.schedule = schedule
+        self.silo = silo
+        self.stateless = stateless
+        self.post_process = post_process or Identity()
+        if proximal_mu < 0:
+            raise ValueError("proximal_mu must be non-negative")
+        # FedProx-style proximal term (Section 6, "reducing local model
+        # divergence from the global model" [51, 52]): adds
+        # mu * (theta - theta_global) to each local gradient.
+        self.proximal_mu = proximal_mu
+        # Local checkpoint for quick recovery (Algorithm 1 L.26),
+        # written asynchronously so the update returns immediately.
+        self.checkpointer = checkpointer
+        self.seed = seed
+        # Persistent workspace model reused across rounds (avoids
+        # re-allocating parameters every round).
+        self.model = DecoderLM(model_config, seed=seed)
+        self._optimizer: AdamW | None = None
+        self.tokens_processed = 0
+        self.rounds_participated = 0
+
+    # ------------------------------------------------------------------
+    def execution_plan(self) -> ExecutionPlan:
+        """Resolve the local strategy (Algorithm 1 L.15–23)."""
+        if self.silo is None:
+            return ExecutionPlan("single_gpu", 1, self.streams[0].batch_size)
+        return select_strategy(self.silo, self.model_config,
+                               target_batch=self.streams[0].batch_size)
+
+    def _make_optimizer(self) -> AdamW:
+        if self._optimizer is None:
+            self._optimizer = AdamW(
+                self.model.parameters(),
+                lr=self.optim_config.max_lr,
+                betas=self.optim_config.betas,
+                eps=self.optim_config.eps,
+                weight_decay=self.optim_config.weight_decay,
+            )
+        elif self.stateless:
+            self._optimizer.reset_state()
+        return self._optimizer
+
+    # ------------------------------------------------------------------
+    def train(self, global_state: StateDict, round_info: RoundInfo) -> ClientUpdate:
+        """Run the local pipeline and return the pseudo-gradient."""
+        plan = self.execution_plan()
+        if plan.strategy == "sub_federation" and len(self.streams) > 1:
+            local_state, metrics, tokens = self._train_sub_federated(global_state, round_info)
+        else:
+            local_state, metrics, tokens = self._train_node(
+                global_state, round_info, self.streams[0], plan
+            )
+        if self.checkpointer is not None:
+            self.checkpointer.save_async(
+                round_info.round_idx, local_state,
+                metadata={"client": self.client_id},
+            )
+        delta = tree_sub(global_state, local_state)
+        delta = self.post_process(delta)
+        self.tokens_processed += tokens
+        self.rounds_participated += 1
+        return ClientUpdate(
+            client_id=self.client_id,
+            delta=delta,
+            num_steps=round_info.local_steps,
+            num_tokens=tokens,
+            metrics=metrics,
+        )
+
+    # ------------------------------------------------------------------
+    def _train_node(self, global_state: StateDict, round_info: RoundInfo,
+                    stream: BatchStream, plan: ExecutionPlan) -> tuple[StateDict, dict, int]:
+        """Standard distributed training inside the client (L.16–18)."""
+        self.model.load_state_dict(global_state)
+        self.model.train()
+        optimizer = self._make_optimizer()
+
+        engine = None
+        if plan.strategy in ("ddp", "fsdp") and plan.n_workers > 1:
+            engine_cls = DDPEngine if plan.strategy == "ddp" else FSDPEngine
+            engine = engine_cls(self.model, optimizer, plan.n_workers,
+                                grad_clip=self.optim_config.grad_clip)
+
+        anchors = None
+        if self.proximal_mu > 0:
+            anchors = [
+                (param, global_state[name].copy())
+                for name, param in self.model.named_parameters()
+            ]
+
+        losses = np.empty(round_info.local_steps, dtype=np.float64)
+        tokens = 0
+        for i in range(round_info.local_steps):
+            optimizer.lr = self.schedule(round_info.global_step_base + i)
+            x, y = stream.next_batch()
+            tokens += x.size
+            if engine is not None:
+                losses[i] = engine.step(x, y)
+                continue
+            self.model.zero_grad()
+            loss = self.model.loss(x, y)
+            loss.backward()
+            if anchors is not None:
+                for param, anchor in anchors:
+                    if param.grad is not None:
+                        param.grad += self.proximal_mu * (param.data - anchor)
+            clip_grad_norm(self.model.parameters(), self.optim_config.grad_clip)
+            optimizer.step()
+            losses[i] = float(loss.data)
+
+        local_state = (
+            engine.full_state() if isinstance(engine, FSDPEngine) else self.model.state_dict()
+        )
+        metrics = {
+            "train_loss_mean": float(losses.mean()),
+            "train_loss_final": float(losses[-1]),
+            "lr_final": optimizer.lr,
+        }
+        return local_state, metrics, tokens
+
+    def _train_sub_federated(self, global_state: StateDict,
+                             round_info: RoundInfo) -> tuple[StateDict, dict, int]:
+        """Two-level FL for slow intra-client links (L.19–25): every
+        node trains independently, then the client averages node
+        models into one update."""
+        node_states: list[StateDict] = []
+        node_metrics: list[dict] = []
+        total_tokens = 0
+        single = ExecutionPlan("single_gpu", 1, self.streams[0].batch_size)
+        for stream in self.streams:
+            state, metrics, tokens = self._train_node(global_state, round_info, stream, single)
+            node_states.append(state)
+            node_metrics.append(metrics)
+            total_tokens += tokens
+        averaged = tree_mean(node_states)
+        metrics = {
+            "train_loss_mean": float(np.mean([m["train_loss_mean"] for m in node_metrics])),
+            "train_loss_final": float(np.mean([m["train_loss_final"] for m in node_metrics])),
+            "lr_final": node_metrics[-1]["lr_final"],
+            "sub_nodes": float(len(self.streams)),
+        }
+        return averaged, metrics, total_tokens

@@ -1,0 +1,107 @@
+"""Client contribution measurement and value-based selection.
+
+Section 6 ("Addressing Data Heterogeneity") points at measuring client
+contributions [53, 54] and selecting clients by their value to the
+global model, e.g. power-of-choice [55].  This module implements both
+on top of the pseudo-gradient stream the aggregator already sees:
+
+* :class:`ContributionTracker` — per-client update norms, cosine
+  alignment with the aggregate, and a running contribution score;
+* :class:`PowerOfChoiceSampler` — sample a candidate set, then keep
+  the clients with the highest recent local loss (the original
+  power-of-choice criterion).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..utils.serialization import StateDict, state_to_vector
+from .sampler import ClientSampler
+
+__all__ = ["ContributionTracker", "PowerOfChoiceSampler", "cosine_alignment"]
+
+
+def cosine_alignment(update: StateDict, aggregate: StateDict) -> float:
+    """Cosine similarity between one client's update and the round
+    aggregate.  Near-zero values are the "near-orthogonal updates"
+    Appendix C.1 cites from Charles et al. [43]."""
+    u = state_to_vector(update).astype(np.float64)
+    a = state_to_vector(aggregate).astype(np.float64)
+    denom = np.linalg.norm(u) * np.linalg.norm(a)
+    if denom == 0:
+        return 0.0
+    return float(np.dot(u, a) / denom)
+
+
+class ContributionTracker:
+    """Accumulates per-client contribution statistics across rounds.
+
+    The score for a round is ``alignment * norm_share``: a client
+    contributes when its update is large *and* points with the
+    aggregate.  Scores are exponentially averaged so sporadic clients
+    are comparable to always-on ones.
+    """
+
+    def __init__(self, decay: float = 0.8):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = decay
+        self.scores: dict[str, float] = defaultdict(float)
+        self.rounds_seen: dict[str, int] = defaultdict(int)
+
+    def record_round(self, updates: dict[str, StateDict],
+                     aggregate: StateDict) -> dict[str, float]:
+        """Record one round; returns this round's raw scores."""
+        if not updates:
+            raise ValueError("no updates to record")
+        norms = {cid: np.linalg.norm(state_to_vector(u))
+                 for cid, u in updates.items()}
+        total_norm = sum(norms.values()) or 1.0
+        round_scores: dict[str, float] = {}
+        for cid, update in updates.items():
+            score = cosine_alignment(update, aggregate) * (norms[cid] / total_norm)
+            round_scores[cid] = score
+            self.scores[cid] = self.decay * self.scores[cid] + (1 - self.decay) * score
+            self.rounds_seen[cid] += 1
+        return round_scores
+
+    def ranking(self) -> list[tuple[str, float]]:
+        """Clients ordered by descending accumulated contribution."""
+        return sorted(self.scores.items(), key=lambda kv: -kv[1])
+
+
+class PowerOfChoiceSampler(ClientSampler):
+    """Power-of-choice client selection (Cho et al. [55]).
+
+    Draw a candidate set of size ``d >= k`` uniformly, then keep the
+    ``k`` candidates with the highest last-reported local loss —
+    biasing rounds toward clients the global model currently serves
+    worst.  Losses are fed back via :meth:`update_losses` (the
+    aggregator's per-round client metrics).
+    """
+
+    def __init__(self, k: int, candidates: int, seed: int = 0):
+        if k < 1 or candidates < k:
+            raise ValueError("need candidates >= k >= 1")
+        self.k = k
+        self.candidates = candidates
+        self._rng = np.random.default_rng(seed)
+        self._last_loss: dict[str, float] = {}
+
+    def update_losses(self, losses: dict[str, float]) -> None:
+        self._last_loss.update(losses)
+
+    def sample(self, population: list[str], round_idx: int) -> list[str]:
+        if not population:
+            raise ValueError("empty population")
+        d = min(self.candidates, len(population))
+        idx = self._rng.choice(len(population), size=d, replace=False)
+        candidate_set = [population[i] for i in idx]
+        # Unknown losses sort first (explore before exploit).
+        candidate_set.sort(
+            key=lambda cid: -self._last_loss.get(cid, float("inf"))
+        )
+        return sorted(candidate_set[: min(self.k, len(candidate_set))])

@@ -1,0 +1,114 @@
+"""Fault injection and dropout handling.
+
+Section 4's topology discussion is explicit about failure semantics:
+PS and AllReduce "handle worker dropouts well by providing a partial
+update derived from surviving workers", while Ring-AllReduce "does not
+tolerate dropouts" (the ring must be re-formed and the round redone).
+This module makes those semantics testable:
+
+* :class:`FailureModel` — seeded Bernoulli client-crash injection,
+  optionally targeting specific rounds/clients;
+* :class:`FaultPolicy` — what the aggregator does when clients fail:
+  ``partial`` (PS/AR semantics), ``retry_round`` (RAR semantics, with
+  a wall-time penalty), or ``strict`` (raise).
+
+The :class:`~repro.fed.aggregator.Aggregator` consumes both via its
+``failure_model``/``fault_policy`` arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ClientFailure", "FailureModel", "FaultPolicy", "FAULT_POLICIES"]
+
+FAULT_POLICIES = ("partial", "retry_round", "strict")
+
+
+class ClientFailure(RuntimeError):
+    """Raised inside a client's local pipeline when it crashes."""
+
+    def __init__(self, client_id: str, round_idx: int):
+        super().__init__(f"client {client_id} failed in round {round_idx}")
+        self.client_id = client_id
+        self.round_idx = round_idx
+
+
+@dataclass
+class FailureModel:
+    """Seeded client-crash injection.
+
+    Parameters
+    ----------
+    crash_prob:
+        Per-(client, round) probability of crashing mid-training.
+    scripted:
+        Explicit ``(round_idx, client_id)`` crashes, applied on top of
+        the random ones (useful for deterministic tests).
+    max_failures:
+        Stop injecting after this many crashes (default unlimited).
+    """
+
+    crash_prob: float = 0.0
+    scripted: set = field(default_factory=set)
+    max_failures: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash_prob < 1.0:
+            raise ValueError("crash_prob must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+        self.failures_injected = 0
+
+    def should_fail(self, client_id: str, round_idx: int) -> bool:
+        if self.max_failures is not None and self.failures_injected >= self.max_failures:
+            return False
+        key = (round_idx, client_id)
+        fail = key in self.scripted
+        if fail:
+            # Scripted crashes are transient: a retried round sees the
+            # client back up (matching real fail-and-restart behaviour).
+            self.scripted.discard(key)
+        elif self.crash_prob > 0.0:
+            fail = bool(self._rng.random() < self.crash_prob)
+        if fail:
+            self.failures_injected += 1
+        return fail
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Aggregator behaviour when some sampled clients fail.
+
+    ``partial``      aggregate the survivors (PS/AR semantics);
+    ``retry_round``  discard the round and retry with the same cohort,
+                     up to ``max_retries`` times (RAR semantics);
+    ``strict``       re-raise (abort training).
+
+    ``min_survivors`` guards ``partial``: a round with fewer surviving
+    clients is retried instead (a 1-of-16 "partial update" would be
+    pure noise).
+    """
+
+    mode: str = "partial"
+    min_survivors: int = 1
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAULT_POLICIES:
+            raise ValueError(f"mode must be one of {FAULT_POLICIES}")
+        if self.min_survivors < 1:
+            raise ValueError("min_survivors must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    @classmethod
+    def for_topology(cls, topology: str) -> "FaultPolicy":
+        """The Section 4 default per aggregation topology."""
+        if topology in ("ps", "ar"):
+            return cls(mode="partial")
+        if topology == "rar":
+            return cls(mode="retry_round")
+        raise ValueError(f"unknown topology {topology!r}")

@@ -1,0 +1,88 @@
+"""Federated hyperparameter tuning (paper Section 6).
+
+"Photon's significant reduction in pre-training costs for LLMs makes
+it feasible to leverage existing federated hyperparameter optimization
+algorithms [47, 48] to explore optimal global or per-client
+hyperparameters."
+
+This module implements successive halving over (client max LR, server
+LR): every candidate gets a short federated run, the worst half is
+eliminated, and survivors continue with a doubled round budget —
+single-shot style, using only the aggregator-side validation metric
+(no extra client data leaves the silos).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import FedConfig, ModelConfig, OptimConfig
+from .photon import Photon
+
+__all__ = ["Candidate", "TrialResult", "successive_halving"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One hyperparameter configuration under consideration."""
+
+    max_lr: float
+    server_lr: float = 1.0
+
+    def describe(self) -> str:
+        return f"lr={self.max_lr:g}, server_lr={self.server_lr:g}"
+
+
+@dataclass
+class TrialResult:
+    candidate: Candidate
+    rounds_run: int
+    best_perplexity: float
+    history: list[float]
+
+
+def _run_trial(model: ModelConfig, fed: FedConfig, optim: OptimConfig,
+               candidate: Candidate, rounds: int, data_seed: int) -> TrialResult:
+    trial_optim = replace(optim, max_lr=candidate.max_lr)
+    trial_fed = replace(fed, server_lr=candidate.server_lr, rounds=rounds)
+    photon = Photon(model, trial_fed, trial_optim, data_seed=data_seed)
+    history = photon.train(rounds=rounds)
+    return TrialResult(
+        candidate=candidate,
+        rounds_run=rounds,
+        best_perplexity=history.best_perplexity(),
+        history=list(history.val_perplexities),
+    )
+
+
+def successive_halving(model: ModelConfig, fed: FedConfig, optim: OptimConfig,
+                       candidates: list[Candidate],
+                       initial_rounds: int = 2,
+                       data_seed: int = 1234) -> list[TrialResult]:
+    """Run successive halving; returns all final-stage results sorted
+    best-first.
+
+    Each stage runs every surviving candidate for the stage budget
+    (doubling per stage) and keeps the better half, until one
+    candidate remains or the budget saturates ``fed.rounds``.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    if initial_rounds < 1:
+        raise ValueError("initial_rounds must be >= 1")
+    if len({(c.max_lr, c.server_lr) for c in candidates}) != len(candidates):
+        raise ValueError("duplicate candidates")
+
+    survivors = list(candidates)
+    rounds = initial_rounds
+    results: list[TrialResult] = []
+    while True:
+        results = [
+            _run_trial(model, fed, optim, candidate, rounds, data_seed)
+            for candidate in survivors
+        ]
+        results.sort(key=lambda r: r.best_perplexity)
+        if len(survivors) == 1 or rounds >= fed.rounds:
+            return results
+        survivors = [r.candidate for r in results[: max(1, len(results) // 2)]]
+        rounds = min(2 * rounds, fed.rounds)

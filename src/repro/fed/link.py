@@ -1,0 +1,136 @@
+"""Link: the communication gateway between Agg and LLM-C (Section 4).
+
+Responsibilities reproduced from the paper:
+
+* serialize model payloads with lossless compression (default zlib);
+* carry metadata (round instructions, metrics) alongside parameters;
+* count every byte in both directions so experiments can report
+  communication volume exactly;
+* optional secure-aggregation masking [36]: pairwise masks derived
+  from shared seeds are added to each update and cancel in the sum,
+  so the server only ever sees the aggregate.
+
+Encryption itself (TLS) is connection-level and contributes nothing
+to the math, so it is represented by a flag on the channel.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.serialization import StateDict, decode_state, encode_state
+
+__all__ = ["Message", "Link", "SecureAggregator"]
+
+
+@dataclass
+class Message:
+    """One payload crossing the Link."""
+
+    sender: str
+    receiver: str
+    payload: bytes
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+
+class Link:
+    """Bidirectional channel with byte accounting.
+
+    ``send_state`` / ``recv_state`` wrap serialization so callers deal
+    only in state dicts; the Link tracks the wire size of what it
+    actually moved (compressed payload + a small metadata envelope).
+    """
+
+    METADATA_OVERHEAD = 256  # bytes budgeted for the message envelope
+
+    def __init__(self, compress: bool = True, tls: bool = True,
+                 compression_level: int = 1, quantize_int8: bool = False):
+        self.compress = compress
+        self.tls = tls
+        self.compression_level = compression_level
+        self.quantize_int8 = quantize_int8
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        # Clients may run on a thread pool (Aggregator max_workers);
+        # counter updates must stay exact.
+        self._lock = threading.Lock()
+
+    def send_state(self, state: StateDict, sender: str, receiver: str,
+                   metadata: dict | None = None) -> Message:
+        payload = encode_state(state, compress=self.compress,
+                               level=self.compression_level,
+                               quantize_int8=self.quantize_int8)
+        message = Message(sender, receiver, payload, metadata or {})
+        with self._lock:
+            self.bytes_sent += message.nbytes + self.METADATA_OVERHEAD
+            self.messages_sent += 1
+        return message
+
+    def recv_state(self, message: Message) -> tuple[StateDict, dict]:
+        with self._lock:
+            self.bytes_received += message.nbytes + self.METADATA_OVERHEAD
+        return decode_state(message.payload), message.metadata
+
+    def reset_counters(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+
+
+class SecureAggregator:
+    """Pairwise-mask secure aggregation (Bonawitz et al. [36]).
+
+    Client ``i`` adds ``Σ_{j>i} m_ij − Σ_{j<i} m_ji`` to its update,
+    where ``m_ij`` is a pseudorandom mask derived from the pair's
+    shared seed.  Individual masked updates are statistically useless
+    to the server, but the masks cancel exactly in the sum.
+    """
+
+    def __init__(self, client_ids: list[str], seed: int = 0, mask_scale: float = 1.0):
+        if len(set(client_ids)) != len(client_ids):
+            raise ValueError("duplicate client ids")
+        if len(client_ids) < 2:
+            raise ValueError("secure aggregation needs at least two clients")
+        self.client_ids = sorted(client_ids)
+        self.seed = seed
+        self.mask_scale = mask_scale
+
+    def _pair_rng(self, a: str, b: str) -> np.random.Generator:
+        lo, hi = sorted((a, b))
+        pair_seed = abs(hash((self.seed, lo, hi))) % (2**32)
+        return np.random.default_rng(pair_seed)
+
+    def mask(self, client_id: str, state: StateDict) -> StateDict:
+        """Return ``state`` plus this client's net pairwise mask."""
+        if client_id not in self.client_ids:
+            raise KeyError(f"unknown client {client_id!r}")
+        out = {k: np.array(v, dtype=np.float32, copy=True) for k, v in state.items()}
+        for other in self.client_ids:
+            if other == client_id:
+                continue
+            rng = self._pair_rng(client_id, other)
+            sign = 1.0 if client_id < other else -1.0
+            for k in out:
+                mask = rng.normal(0.0, self.mask_scale, size=out[k].shape).astype(np.float32)
+                out[k] += sign * mask
+        return out
+
+    @staticmethod
+    def unmasked_sum(masked_states: list[StateDict]) -> StateDict:
+        """Sum of masked updates — equals the sum of raw updates since
+        all pairwise masks cancel (up to float32 rounding)."""
+        if not masked_states:
+            raise ValueError("no updates to aggregate")
+        total = {k: np.array(v, copy=True) for k, v in masked_states[0].items()}
+        for state in masked_states[1:]:
+            for k in total:
+                total[k] = total[k] + state[k]
+        return total

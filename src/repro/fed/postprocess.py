@@ -1,0 +1,107 @@
+"""Client-side update post-processing (Algorithm 1 L.27, Section 3.2).
+
+"LLM-C applies post-processing (e.g., gradient clipping, compression,
+or differential privacy noise injection) before returning updates."
+Each processor transforms a pseudo-gradient state dict; ``Compose``
+chains them.  The default pipeline is empty (the paper defaults to
+lossless compression only, which lives in the Link).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.serialization import StateDict, tree_norm, tree_scale
+
+__all__ = [
+    "PostProcessor",
+    "Compose",
+    "ClipUpdate",
+    "DPGaussianNoise",
+    "TopKSparsify",
+    "Identity",
+]
+
+
+class PostProcessor:
+    def __call__(self, update: StateDict) -> StateDict:
+        raise NotImplementedError
+
+
+class Identity(PostProcessor):
+    def __call__(self, update: StateDict) -> StateDict:
+        return update
+
+
+class Compose(PostProcessor):
+    """Apply processors left to right."""
+
+    def __init__(self, processors: list[PostProcessor]):
+        self.processors = list(processors)
+
+    def __call__(self, update: StateDict) -> StateDict:
+        for proc in self.processors:
+            update = proc(update)
+        return update
+
+
+class ClipUpdate(PostProcessor):
+    """Clip the global L2 norm of the update to ``max_norm``."""
+
+    def __init__(self, max_norm: float):
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        self.max_norm = max_norm
+
+    def __call__(self, update: StateDict) -> StateDict:
+        norm = tree_norm(update)
+        if norm <= self.max_norm:
+            return update
+        return tree_scale(update, self.max_norm / (norm + 1e-12))
+
+
+class DPGaussianNoise(PostProcessor):
+    """Clip-then-noise for (ε, δ)-DP-style update release.
+
+    Clipping bounds each client's sensitivity to ``clip_norm``; the
+    Gaussian noise has standard deviation
+    ``noise_multiplier · clip_norm``.
+    """
+
+    def __init__(self, clip_norm: float, noise_multiplier: float, seed: int = 0):
+        if clip_norm <= 0 or noise_multiplier < 0:
+            raise ValueError("clip_norm must be > 0 and noise_multiplier >= 0")
+        self.clip = ClipUpdate(clip_norm)
+        self.sigma = noise_multiplier * clip_norm
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, update: StateDict) -> StateDict:
+        clipped = self.clip(update)
+        if self.sigma == 0:
+            return clipped
+        return {
+            k: v + self._rng.normal(0.0, self.sigma, size=v.shape).astype(np.float32)
+            for k, v in clipped.items()
+        }
+
+
+class TopKSparsify(PostProcessor):
+    """Keep the top ``fraction`` of coordinates by magnitude, zeroing
+    the rest — the pruning-style compression hook Section 4 mentions
+    (off by default)."""
+
+    def __init__(self, fraction: float):
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = fraction
+
+    def __call__(self, update: StateDict) -> StateDict:
+        if self.fraction >= 1.0:
+            return update
+        flat = np.concatenate([np.abs(v).reshape(-1) for v in update.values()])
+        k = max(1, int(round(self.fraction * flat.size)))
+        threshold = np.partition(flat, flat.size - k)[flat.size - k]
+        return {
+            k_: np.where(np.abs(v) >= threshold, v, 0.0).astype(np.float32)
+            for k_, v in update.items()
+        }

@@ -1,0 +1,38 @@
+"""Shared dataclasses for the federated pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.serialization import StateDict
+
+__all__ = ["RoundInfo", "ClientUpdate"]
+
+
+@dataclass(frozen=True)
+class RoundInfo:
+    """Instructions broadcast from Agg to sampled clients (L.3–5).
+
+    ``global_step_base`` synchronizes the clients' LR schedule across
+    rounds (Table 5's "SC ... synchronized across sequential steps").
+    """
+
+    round_idx: int
+    local_steps: int
+    global_step_base: int
+    instructions: dict = field(default_factory=dict)
+
+
+@dataclass
+class ClientUpdate:
+    """What a client returns to the aggregator (L.28).
+
+    ``delta`` is the pseudo-gradient ``θ_t − θ_t^k`` (Algorithm 1
+    L.7) after post-processing.
+    """
+
+    client_id: str
+    delta: StateDict
+    num_steps: int
+    num_tokens: int
+    metrics: dict[str, float] = field(default_factory=dict)

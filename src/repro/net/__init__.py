@@ -1,0 +1,38 @@
+"""Network topology, wall-time model and communication accounting."""
+
+from .comm import CommVolume, ddp_volume, federated_volume, reduction_factor
+from .selection import TopologyRequirements, select_topology
+from .simulation import (
+    ClientProfile,
+    FederationSimulator,
+    RoundEvent,
+    SimulationReport,
+)
+from .topology import (
+    PAPER_LINKS_GBPS,
+    PAPER_REGIONS,
+    FederationTopology,
+    paper_topology,
+)
+from .walltime import CommTopology, RoundTiming, WallTimeModel, gbps_to_mbps
+
+__all__ = [
+    "FederationTopology",
+    "paper_topology",
+    "PAPER_REGIONS",
+    "PAPER_LINKS_GBPS",
+    "WallTimeModel",
+    "RoundTiming",
+    "CommTopology",
+    "gbps_to_mbps",
+    "CommVolume",
+    "ddp_volume",
+    "federated_volume",
+    "reduction_factor",
+    "ClientProfile",
+    "FederationSimulator",
+    "RoundEvent",
+    "SimulationReport",
+    "TopologyRequirements",
+    "select_topology",
+]

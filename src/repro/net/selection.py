@@ -1,0 +1,73 @@
+"""Automatic aggregation-topology selection (paper Section 4).
+
+"Each method has its constraints, and Photon adapts to select the most
+efficient option for each scenario."  The constraints, from the
+paper's own enumeration:
+
+* **privacy** — peer-to-peer exchange (AR/RAR) may be prohibited; PS
+  "is the only viable option when privacy restrictions prohibit
+  peer-to-peer communication";
+* **dropouts** — RAR "does not tolerate dropouts"; PS/AR provide
+  partial updates from survivors;
+* **cost** — among the admissible options, pick the lowest modelled
+  communication time (Eqs. 2–4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import WallTimeConfig
+from .walltime import VALID_TOPOLOGIES, WallTimeModel
+
+__all__ = ["TopologyRequirements", "select_topology"]
+
+
+@dataclass(frozen=True)
+class TopologyRequirements:
+    """Deployment constraints feeding the selection."""
+
+    privacy_restricted: bool = False  # peers may not exchange updates
+    dropouts_expected: bool = False  # clients may vanish mid-round
+
+    def admissible(self) -> tuple[str, ...]:
+        if self.privacy_restricted:
+            return ("ps",)
+        if self.dropouts_expected:
+            return ("ps", "ar")
+        return VALID_TOPOLOGIES
+
+
+def select_topology(clients: int, model_mb: float,
+                    bandwidth_mbps: dict[str, float] | float,
+                    requirements: TopologyRequirements | None = None) -> tuple[str, float]:
+    """Pick the cheapest admissible topology.
+
+    Parameters
+    ----------
+    bandwidth_mbps:
+        Either one bandwidth for all topologies or a per-topology map
+        (e.g. PS behind the aggregator's uplink, RAR at the ring
+        bottleneck — the Figure 2 situation).
+
+    Returns ``(topology, comm_seconds)`` for one round.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    requirements = requirements or TopologyRequirements()
+    candidates = requirements.admissible()
+
+    best_name, best_cost = None, float("inf")
+    for name in candidates:
+        bw = (bandwidth_mbps.get(name) if isinstance(bandwidth_mbps, dict)
+              else bandwidth_mbps)
+        if bw is None:
+            continue
+        model = WallTimeModel(WallTimeConfig(
+            throughput=1.0, bandwidth_mbps=float(bw), model_mb=model_mb))
+        cost = model.comm_s(name, clients)
+        if cost < best_cost:
+            best_name, best_cost = name, cost
+    if best_name is None:
+        raise ValueError("no admissible topology has a bandwidth entry")
+    return best_name, best_cost

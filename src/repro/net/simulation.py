@@ -1,0 +1,181 @@
+"""Event-driven federation wall-clock simulator.
+
+The analytic model of Appendix B.1 assumes "the ideal case where [all
+clients] execute the same local training recipe in parallel on
+equipollent hardware".  Real federations are messier: heterogeneous
+throughputs, jitter, stragglers, and sporadic dropouts (Appendix A).
+This simulator plays out rounds event by event:
+
+* each client's compute time is ``τ / ν_i`` scaled by seeded
+  log-normal jitter;
+* synchronous rounds barrier on the slowest participant, unless a
+  **deadline policy** drops stragglers (aggregating the survivors,
+  PS/AR semantics);
+* communication follows the same Eqs. 2–4 as the analytic model and
+  can overlap with the next round's compute (Appendix B.2).
+
+The report carries per-client utilization and straggler statistics —
+the quantities an operator would use to size deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import WallTimeConfig
+from .walltime import WallTimeModel
+
+__all__ = ["ClientProfile", "RoundEvent", "SimulationReport", "FederationSimulator"]
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """One simulated participant."""
+
+    name: str
+    throughput: float  # ν_i, local batches per second
+    jitter: float = 0.0  # std of log-normal compute-time noise
+    uptime: float = 1.0  # per-round availability probability
+
+    def __post_init__(self) -> None:
+        if self.throughput <= 0:
+            raise ValueError("throughput must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0.0 < self.uptime <= 1.0:
+            raise ValueError("uptime must be in (0, 1]")
+
+
+@dataclass
+class RoundEvent:
+    """What happened in one simulated round."""
+
+    round_idx: int
+    compute_times: dict[str, float]
+    participants: list[str]
+    dropped: list[str]
+    barrier_s: float
+    comm_s: float
+    total_s: float
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate results of a simulated run."""
+
+    events: list[RoundEvent] = field(default_factory=list)
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(e.total_s for e in self.events)
+
+    @property
+    def rounds(self) -> int:
+        return len(self.events)
+
+    def utilization(self) -> dict[str, float]:
+        """Fraction of total wall time each client spent computing."""
+        total = self.total_wall_s
+        busy: dict[str, float] = {}
+        for event in self.events:
+            for name, t in event.compute_times.items():
+                if name in event.participants:
+                    busy[name] = busy.get(name, 0.0) + min(t, event.barrier_s)
+        return {name: (b / total if total > 0 else 0.0) for name, b in busy.items()}
+
+    def drop_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            for name in event.dropped:
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+class FederationSimulator:
+    """Simulate synchronous federated rounds over a client mix.
+
+    Parameters
+    ----------
+    clients:
+        Participant profiles.
+    model_mb / bandwidth_mbps / topology:
+        Communication parameters, interpreted exactly as in
+        :class:`~repro.net.walltime.WallTimeModel`.
+    deadline_factor:
+        If set, a round's compute barrier is capped at
+        ``deadline_factor × median compute time``; slower clients are
+        dropped from the round (partial aggregation).  ``None`` waits
+        for everyone.
+    overlap:
+        Overlap each round's communication with the next round's
+        compute (Appendix B.2).
+    """
+
+    def __init__(self, clients: list[ClientProfile], model_mb: float,
+                 bandwidth_mbps: float, topology: str = "rar",
+                 deadline_factor: float | None = None,
+                 overlap: bool = False, seed: int = 0):
+        if not clients:
+            raise ValueError("need at least one client")
+        if len({c.name for c in clients}) != len(clients):
+            raise ValueError("duplicate client names")
+        if deadline_factor is not None and deadline_factor < 1.0:
+            raise ValueError("deadline_factor must be >= 1")
+        self.clients = list(clients)
+        self.topology = topology
+        self.deadline_factor = deadline_factor
+        self.overlap = overlap
+        self._rng = np.random.default_rng(seed)
+        # Reuse the analytic comm-time equations; throughput is unused
+        # there so any positive value works.
+        self._comm_model = WallTimeModel(WallTimeConfig(
+            throughput=1.0, bandwidth_mbps=bandwidth_mbps, model_mb=model_mb))
+
+    # ------------------------------------------------------------------
+    def _compute_time(self, client: ClientProfile, local_steps: int) -> float:
+        base = local_steps / client.throughput
+        if client.jitter == 0.0:
+            return base
+        return float(base * self._rng.lognormal(0.0, client.jitter))
+
+    def simulate(self, rounds: int, local_steps: int) -> SimulationReport:
+        if rounds < 1 or local_steps < 1:
+            raise ValueError("rounds and local_steps must be >= 1")
+        report = SimulationReport()
+        for round_idx in range(rounds):
+            available = [
+                c for c in self.clients
+                if c.uptime >= 1.0 or self._rng.random() < c.uptime
+            ]
+            if not available:
+                available = [self.clients[int(self._rng.integers(len(self.clients)))]]
+
+            times = {c.name: self._compute_time(c, local_steps) for c in available}
+            dropped: list[str] = []
+            participants = [c.name for c in available]
+            if self.deadline_factor is not None and len(times) > 1:
+                deadline = self.deadline_factor * float(np.median(list(times.values())))
+                dropped = [n for n, t in times.items() if t > deadline]
+                participants = [n for n in participants if n not in dropped]
+                if not participants:  # keep the fastest client at least
+                    fastest = min(times, key=times.get)
+                    participants = [fastest]
+                    dropped.remove(fastest)
+                barrier = max(times[n] for n in participants)
+            else:
+                barrier = max(times.values())
+
+            comm = self._comm_model.comm_s(self.topology, max(len(participants), 1))
+            total = max(barrier, comm) if self.overlap else barrier + comm
+            report.events.append(RoundEvent(
+                round_idx=round_idx,
+                compute_times=times,
+                participants=participants,
+                dropped=dropped,
+                barrier_s=barrier,
+                comm_s=comm,
+                total_s=total,
+            ))
+        return report

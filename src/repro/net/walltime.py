@@ -1,0 +1,185 @@
+"""Analytic wall-time model (paper Appendix B.1, Eqs. 1–7).
+
+The paper evaluates system efficiency with an explicit model:
+
+* local compute time  ``T_L = τ / ν``                      (Eq. 1)
+* PS communication    ``T_PS = K·S / B``                   (Eq. 2)
+* AllReduce           ``T_AR = (K−1)·S / B``               (Eq. 3)
+* Ring-AllReduce      ``T_RAR = 2·S·(K−1) / (K·B)``        (Eq. 4)
+* per-round total     ``T_r = T_L + T_C``                  (Eq. 5)
+* training total      ``T = R·T_r``                        (Eq. 6)
+* aggregation         ``T_agg = K·S / ζ`` (negligible)     (Eq. 7)
+
+with τ local steps, ν local throughput (batches/s), K clients/round,
+S model megabytes, B bandwidth MB/s, R rounds.  A congestion factor
+kicks in above ``channel_threshold`` parallel channels.
+
+The same module also models the centralized DDP baseline used in
+Table 2: per-step Ring-AllReduce over the same bandwidth, i.e.
+``T_comm = steps · T_RAR`` — which is where the paper's 64×–512×
+communication-reduction claims come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import WallTimeConfig
+
+__all__ = [
+    "CommTopology",
+    "RoundTiming",
+    "WallTimeModel",
+    "gbps_to_mbps",
+]
+
+VALID_TOPOLOGIES = ("ps", "ar", "rar")
+
+
+def gbps_to_mbps(gbps: float) -> float:
+    """Convert Gbit/s link speed to MB/s payload rate."""
+    return gbps * 1000.0 / 8.0
+
+
+@dataclass(frozen=True)
+class CommTopology:
+    """Aggregation topology selector with its dropout/privacy traits
+    (Section 4 'Topology Between Clients')."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in VALID_TOPOLOGIES:
+            raise ValueError(f"topology must be one of {VALID_TOPOLOGIES}")
+
+    @property
+    def tolerates_dropouts(self) -> bool:
+        return self.name in ("ps", "ar")
+
+    @property
+    def peer_to_peer(self) -> bool:
+        """Whether workers exchange updates directly (privacy-relevant)."""
+        return self.name in ("ar", "rar")
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """Timing breakdown of a single federated round.
+
+    ``overlapped`` models Appendix B.2's communication offloading: the
+    client hands the upload to a background process and returns to
+    compute, so a round costs ``max(T_L, T_C)`` instead of their sum.
+    """
+
+    compute_s: float
+    comm_s: float
+    overlapped: bool = False
+
+    @property
+    def total_s(self) -> float:
+        if self.overlapped:
+            return max(self.compute_s, self.comm_s)
+        return self.compute_s + self.comm_s
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_s / self.total_s if self.total_s > 0 else 0.0
+
+
+class WallTimeModel:
+    """Evaluate Eqs. 1–7 for a given hardware/bandwidth configuration."""
+
+    def __init__(self, config: WallTimeConfig):
+        if config.throughput <= 0 or config.bandwidth_mbps <= 0 or config.model_mb <= 0:
+            raise ValueError("throughput, bandwidth and model size must be positive")
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Equation 1
+    # ------------------------------------------------------------------
+    def local_compute_s(self, local_steps: int) -> float:
+        """T_L = τ / ν; independent of K (clients run in parallel)."""
+        if local_steps < 0:
+            raise ValueError("local_steps must be non-negative")
+        return local_steps / self.config.throughput
+
+    # ------------------------------------------------------------------
+    # Equations 2–4
+    # ------------------------------------------------------------------
+    def _effective_bandwidth(self, channels: int) -> float:
+        """Bandwidth after congestion scaling for > θ channels.
+
+        ``channels`` is the number of concurrent streams sharing the
+        bottleneck endpoint: the server's fan-in for PS, a worker's
+        peer count for AR, and the two ring neighbours for RAR.
+        """
+        bw = self.config.bandwidth_mbps
+        threshold = self.config.channel_threshold
+        if channels > threshold:
+            bw = bw * threshold / channels
+        return bw
+
+    def comm_s(self, topology: str | CommTopology, clients: int) -> float:
+        """Per-round communication time for ``clients`` participants."""
+        if isinstance(topology, CommTopology):
+            topology = topology.name
+        if topology not in VALID_TOPOLOGIES:
+            raise ValueError(f"unknown topology {topology!r}")
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
+        if clients == 1:
+            return 0.0  # single-client: no synchronization needed
+        s = self.config.model_mb
+        if topology == "ps":
+            b = self._effective_bandwidth(clients)
+            return clients * s / b
+        if topology == "ar":
+            b = self._effective_bandwidth(clients - 1)
+            return (clients - 1) * s / b
+        b = self._effective_bandwidth(2)
+        return 2.0 * s * (clients - 1) / (clients * b)
+
+    # ------------------------------------------------------------------
+    # Equations 5–7
+    # ------------------------------------------------------------------
+    def round_timing(self, topology: str | CommTopology, clients: int,
+                     local_steps: int, overlap: bool = False) -> RoundTiming:
+        """T_r = T_L + T_C (Eq. 5); ``overlap=True`` applies the
+        Appendix B.2 communication-offloading optimization."""
+        return RoundTiming(
+            compute_s=self.local_compute_s(local_steps),
+            comm_s=self.comm_s(topology, clients),
+            overlapped=overlap,
+        )
+
+    def total_wall_time_s(self, topology: str | CommTopology, clients: int,
+                          local_steps: int, rounds: int) -> float:
+        """T = R · T_r (Eq. 6)."""
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        return rounds * self.round_timing(topology, clients, local_steps).total_s
+
+    def aggregation_s(self, clients: int) -> float:
+        """T_agg = K·S / ζ (Eq. 7) — negligible by default."""
+        return clients * self.config.model_mb * 1e6 / self.config.server_capacity
+
+    # ------------------------------------------------------------------
+    # Centralized DDP baseline (Table 2 comparison)
+    # ------------------------------------------------------------------
+    def centralized_timing(self, workers: int, steps: int,
+                           throughput: float | None = None) -> RoundTiming:
+        """Centralized DDP over the same links: Ring-AllReduce of the
+        full model EVERY optimizer step."""
+        nu = throughput if throughput is not None else self.config.throughput
+        if nu <= 0:
+            raise ValueError("throughput must be positive")
+        compute = steps / nu
+        comm = steps * self.comm_s("rar", workers)
+        return RoundTiming(compute_s=compute, comm_s=comm)
+
+    def communication_reduction(self, local_steps: int) -> float:
+        """Ratio of DDP sync events to federated sync events at equal
+        optimizer steps — the paper's 64×–512× factor equals τ."""
+        if local_steps < 1:
+            raise ValueError("local_steps must be >= 1")
+        return float(local_steps)

@@ -1,0 +1,37 @@
+"""Neural network layers and the MPT-style decoder-only transformer."""
+
+from .attention import CausalSelfAttention, alibi_slopes
+from .inference import InferenceEngine
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear
+from .lora import (
+    LoRALinear,
+    apply_lora,
+    load_lora_state_dict,
+    lora_compression_ratio,
+    lora_parameters,
+    lora_state_dict,
+    merge_lora,
+)
+from .module import Module
+from .transformer import Block, DecoderLM
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "MLP",
+    "CausalSelfAttention",
+    "alibi_slopes",
+    "Block",
+    "DecoderLM",
+    "InferenceEngine",
+    "LoRALinear",
+    "apply_lora",
+    "lora_parameters",
+    "lora_state_dict",
+    "load_lora_state_dict",
+    "merge_lora",
+    "lora_compression_ratio",
+]

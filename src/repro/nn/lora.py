@@ -1,0 +1,172 @@
+"""LoRA adapters for parameter-efficient federated fine-tuning.
+
+Section 6 ("Cross-device Federated Scenarios"): Photon "can be
+extended with existing methods proven successful in cross-device FL,
+such as parameter-efficient fine-tuning [60, 61] [and] low-rank
+decomposition [63]".  LoRA (Hu et al., 2021) is the canonical
+instance: freeze the pre-trained weight ``W`` and learn a rank-``r``
+update ``ΔW = (α/r)·A B``, so a federated round only communicates the
+adapter matrices — for a Linear of shape (in, out) that is
+``r · (in + out)`` parameters instead of ``in · out``.
+
+:func:`apply_lora` swaps every attention/MLP Linear of a
+:class:`~repro.nn.DecoderLM` for a :class:`LoRALinear` in place;
+:func:`lora_state_dict` / :func:`merge_lora` extract and fold the
+adapters.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..tensor import Parameter, Tensor
+from .layers import Linear
+from .module import Module
+from .transformer import DecoderLM
+
+__all__ = [
+    "LoRALinear",
+    "apply_lora",
+    "lora_parameters",
+    "lora_state_dict",
+    "load_lora_state_dict",
+    "merge_lora",
+    "lora_compression_ratio",
+]
+
+
+class LoRALinear(Module):
+    """A frozen Linear plus a trainable low-rank residual.
+
+    Forward: ``y = x W + b + (alpha / r) · (x A) B`` with ``A`` init
+    Gaussian and ``B`` init zero, so training starts exactly at the
+    frozen model.
+    """
+
+    def __init__(self, base: Linear, rank: int, alpha: float = 16.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.rank = rank
+        self.alpha = alpha
+        self.scaling = alpha / rank
+        # The base weights are held as plain tensors: invisible to
+        # parameters()/state_dict(), hence frozen and never shipped.
+        self._frozen_weight = Tensor(base.weight.data.copy())
+        self._frozen_bias = (
+            Tensor(base.bias.data.copy()) if base.bias is not None else None
+        )
+        in_features, out_features = base.weight.shape
+        self.in_features = in_features
+        self.out_features = out_features
+        self.lora_a = Parameter(
+            rng.normal(0.0, 1.0 / math.sqrt(in_features), size=(in_features, rank))
+        )
+        self.lora_b = Parameter(np.zeros((rank, out_features)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self._frozen_weight
+        if self._frozen_bias is not None:
+            out = out + self._frozen_bias
+        return out + (x @ self.lora_a @ self.lora_b) * self.scaling
+
+    def merged_weight(self) -> np.ndarray:
+        """The equivalent dense weight ``W + (alpha/r)·A B``."""
+        return (self._frozen_weight.data
+                + self.scaling * (self.lora_a.data @ self.lora_b.data))
+
+
+def _iter_linear_slots(model: DecoderLM):
+    for block in model.blocks:
+        yield block.attn, "qkv"
+        yield block.attn, "proj"
+        yield block.mlp, "up"
+        yield block.mlp, "down"
+
+
+def apply_lora(model: DecoderLM, rank: int, alpha: float = 16.0,
+               seed: int = 0) -> DecoderLM:
+    """Replace every block Linear with a LoRA-wrapped one, in place.
+
+    Embeddings and layer norms stay trainable (they are tiny); the
+    dense projections — the bulk of the parameters — are frozen.
+    Returns the same model for chaining.
+    """
+    rng = np.random.default_rng(seed)
+    for owner, name in _iter_linear_slots(model):
+        base = getattr(owner, name)
+        if isinstance(base, LoRALinear):
+            raise ValueError("model already has LoRA adapters applied")
+        setattr(owner, name, LoRALinear(base, rank=rank, alpha=alpha, rng=rng))
+    return model
+
+
+def lora_parameters(model: DecoderLM) -> list[Parameter]:
+    """Only the adapter parameters (what a PEFT client trains/ships)."""
+    params = []
+    for owner, name in _iter_linear_slots(model):
+        layer = getattr(owner, name)
+        if isinstance(layer, LoRALinear):
+            params.extend([layer.lora_a, layer.lora_b])
+    if not params:
+        raise ValueError("model has no LoRA adapters; call apply_lora first")
+    return params
+
+
+def lora_state_dict(model: DecoderLM) -> dict[str, np.ndarray]:
+    """Adapter-only state dict (the federated payload)."""
+    state = {}
+    for i, (owner, name) in enumerate(_iter_linear_slots(model)):
+        layer = getattr(owner, name)
+        if isinstance(layer, LoRALinear):
+            state[f"lora{i}.{name}.a"] = layer.lora_a.data.copy()
+            state[f"lora{i}.{name}.b"] = layer.lora_b.data.copy()
+    if not state:
+        raise ValueError("model has no LoRA adapters")
+    return state
+
+
+def load_lora_state_dict(model: DecoderLM, state: dict[str, np.ndarray]) -> None:
+    """Inverse of :func:`lora_state_dict`."""
+    expected = lora_state_dict(model)
+    if expected.keys() != state.keys():
+        raise KeyError(
+            f"adapter key mismatch: {sorted(expected.keys() ^ state.keys())}"
+        )
+    for i, (owner, name) in enumerate(_iter_linear_slots(model)):
+        layer = getattr(owner, name)
+        if isinstance(layer, LoRALinear):
+            layer.lora_a.data = np.asarray(state[f"lora{i}.{name}.a"],
+                                           dtype=np.float32).copy()
+            layer.lora_b.data = np.asarray(state[f"lora{i}.{name}.b"],
+                                           dtype=np.float32).copy()
+
+
+def merge_lora(model: DecoderLM) -> DecoderLM:
+    """Fold adapters back into dense Linears, in place (for serving)."""
+    rng = np.random.default_rng(0)
+    for owner, name in _iter_linear_slots(model):
+        layer = getattr(owner, name)
+        if not isinstance(layer, LoRALinear):
+            continue
+        dense = Linear(layer.in_features, layer.out_features,
+                       bias=layer._frozen_bias is not None, rng=rng)
+        dense.weight.data = layer.merged_weight().astype(np.float32)
+        if layer._frozen_bias is not None:
+            dense.bias.data = layer._frozen_bias.data.copy()
+        setattr(owner, name, dense)
+    return model
+
+
+def lora_compression_ratio(model: DecoderLM) -> float:
+    """Dense-payload bytes ÷ adapter-payload bytes for this model."""
+    adapter = sum(p.size for p in lora_parameters(model))
+    dense = 0
+    for owner, name in _iter_linear_slots(model):
+        layer = getattr(owner, name)
+        dense += layer.in_features * layer.out_features
+    return dense / adapter

@@ -1,0 +1,163 @@
+"""MPT-style decoder-only transformer for causal language modelling.
+
+Architecture per paper Table 4: pre-norm blocks, ALiBi attention, GELU
+MLP with a configurable expansion ratio, tied input/output embeddings
+and a final layer norm.  The model exposes ``forward`` (logits),
+``loss`` (token cross-entropy) and generation/perplexity helpers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..tensor import Parameter, Tensor, no_grad, ops
+from .attention import CausalSelfAttention
+from .layers import Dropout, Embedding, LayerNorm, MLP
+from .module import Module
+
+__all__ = ["Block", "DecoderLM"]
+
+
+class Block(Module):
+    """Pre-norm transformer block: x + Attn(LN(x)); x + MLP(LN(x))."""
+
+    def __init__(self, config: ModelConfig, rng: np.random.Generator,
+                 resid_scale: float):
+        super().__init__()
+        self.ln1 = LayerNorm(config.d_model)
+        self.attn = CausalSelfAttention(
+            config.d_model, config.n_heads, alibi=config.alibi, rng=rng,
+            resid_scale=resid_scale,
+        )
+        self.ln2 = LayerNorm(config.d_model)
+        self.mlp = MLP(config.d_model, config.expansion_ratio, rng=rng,
+                       resid_scale=resid_scale)
+        self.drop = Dropout(config.dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.drop(self.attn(self.ln1(x)))
+        x = x + self.drop(self.mlp(self.ln2(x)))
+        return x
+
+
+class DecoderLM(Module):
+    """Decoder-only causal language model.
+
+    Parameters
+    ----------
+    config:
+        Architecture description (see :class:`repro.config.ModelConfig`).
+    seed:
+        Seed for weight initialization and dropout; two models built
+        with the same config and seed are bit-identical, which the
+        federated tests rely on.
+    """
+
+    def __init__(self, config: ModelConfig, seed: int = 0):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(seed)
+        # GPT-2 style residual scaling keeps activations bounded as
+        # depth grows.
+        resid_scale = 0.02 / math.sqrt(2 * config.n_blocks)
+        self.tok_emb = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.blocks = _BlockList(
+            [Block(config, rng, resid_scale) for _ in range(config.n_blocks)]
+        )
+        self.ln_f = LayerNorm(config.d_model)
+        if config.tie_embeddings:
+            self.lm_head_weight: Parameter | None = None  # reuse tok_emb.weight
+        else:
+            self.lm_head_weight = Parameter(
+                rng.normal(0.0, 0.02, size=(config.vocab_size, config.d_model))
+            )
+
+    # ------------------------------------------------------------------
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Compute logits of shape ``(batch, seq, vocab)``."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        if tokens.shape[1] > self.config.seq_len:
+            raise ValueError(
+                f"sequence length {tokens.shape[1]} exceeds configured "
+                f"maximum {self.config.seq_len}"
+            )
+        x = self.tok_emb(tokens)
+        x = self.blocks(x)
+        x = self.ln_f(x)
+        head = self.lm_head_weight if self.lm_head_weight is not None else self.tok_emb.weight
+        return x @ head.T
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean next-token cross-entropy."""
+        logits = self.forward(tokens)
+        return ops.cross_entropy(logits, targets)
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def perplexity(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        """exp(loss) on a batch without building a graph."""
+        with no_grad():
+            return float(np.exp(self.loss(tokens, targets).item()))
+
+    def logprobs(self, tokens: np.ndarray) -> np.ndarray:
+        """Per-position log-probabilities of the *next* token.
+
+        Returns an array of shape ``(batch, seq-1)`` with
+        ``log p(tokens[:, t+1] | tokens[:, :t+1])``.
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        with no_grad():
+            logits = self.forward(tokens).data
+        log_probs = logits - logits.max(axis=-1, keepdims=True)
+        log_probs = log_probs - np.log(np.exp(log_probs).sum(axis=-1, keepdims=True))
+        batch_idx = np.arange(tokens.shape[0])[:, None]
+        pos_idx = np.arange(tokens.shape[1] - 1)[None, :]
+        return log_probs[batch_idx, pos_idx, tokens[:, 1:]]
+
+    def generate(self, prompt: np.ndarray, max_new_tokens: int,
+                 temperature: float = 1.0, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Sample a continuation of ``prompt`` (1-D token array)."""
+        rng = rng or np.random.default_rng()
+        tokens = list(np.asarray(prompt).reshape(-1))
+        for _ in range(max_new_tokens):
+            window = np.array(tokens[-self.config.seq_len:])[None, :]
+            with no_grad():
+                logits = self.forward(window).data[0, -1]
+            if temperature <= 0:
+                tokens.append(int(logits.argmax()))
+                continue
+            logits = logits / temperature
+            logits -= logits.max()
+            probs = np.exp(logits)
+            probs /= probs.sum()
+            tokens.append(int(rng.choice(len(probs), p=probs)))
+        return np.array(tokens, dtype=np.int64)
+
+
+class _BlockList(Module):
+    """Sequential container registering each block as a submodule."""
+
+    def __init__(self, blocks: list[Block]):
+        super().__init__()
+        self._blocks = blocks
+        for i, block in enumerate(blocks):
+            setattr(self, f"block{i}", block)
+
+    def __iter__(self):
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for block in self._blocks:
+            x = block(x)
+        return x

@@ -1,0 +1,36 @@
+"""Optimizers, LR schedules and gradient clipping."""
+
+from .accumulate import GradientAccumulator
+from .clip import clip_grad_norm, global_grad_norm
+from .noise_scale import (
+    NoiseScaleEstimate,
+    gradient_noise_scale,
+    measure_noise_scale,
+)
+from .optimizers import SGD, AdamW, Optimizer
+from .schedules import (
+    ConstantLR,
+    LinearDecay,
+    LRSchedule,
+    WarmupCosine,
+    federated_schedule_steps,
+    linear_lr_scaling,
+)
+
+__all__ = [
+    "Optimizer",
+    "AdamW",
+    "SGD",
+    "LRSchedule",
+    "ConstantLR",
+    "WarmupCosine",
+    "LinearDecay",
+    "federated_schedule_steps",
+    "linear_lr_scaling",
+    "clip_grad_norm",
+    "global_grad_norm",
+    "GradientAccumulator",
+    "NoiseScaleEstimate",
+    "gradient_noise_scale",
+    "measure_noise_scale",
+]

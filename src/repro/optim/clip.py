@@ -1,0 +1,34 @@
+"""Global-norm gradient clipping (part of the local training recipe)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..tensor import Parameter
+
+__all__ = ["global_grad_norm", "clip_grad_norm"]
+
+
+def global_grad_norm(params: list[Parameter]) -> float:
+    """L2 norm over all gradients (zeros for params without grads)."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad.astype(np.float64) ** 2))
+    return math.sqrt(total)
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so the global norm is at most
+    ``max_norm``; returns the pre-clip norm."""
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    norm = global_grad_norm(params)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm

@@ -1,0 +1,114 @@
+"""Gradient noise scale and critical batch size (McCandlish et al. [44]).
+
+Appendix C.1 grounds the compute-time trade-off in the critical batch
+size B_crit, "determined using the gradient noise scale as done in the
+work of McCandlish et al."  This module implements the B_simple
+estimator:
+
+    B_simple = tr(Σ) / |G|²
+
+estimated from two gradient estimates at different batch sizes
+(B_small, B_big), using the identities
+
+    E[|G_B|²] = |G|² + tr(Σ) / B.
+
+Given per-batch gradient norms the estimator solves the 2×2 system for
+|G|² and tr(Σ).  The paper's rule of thumb follows: training at batch
+B achieves ~B/(B + B_noise) of the per-example progress of small-batch
+training, and scaling beyond B_crit ≈ B_noise wastes compute — the
+diminishing returns visible in Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import DecoderLM
+from ..tensor import Parameter
+
+__all__ = ["NoiseScaleEstimate", "gradient_noise_scale", "measure_noise_scale"]
+
+
+@dataclass(frozen=True)
+class NoiseScaleEstimate:
+    """Result of a gradient-noise-scale measurement."""
+
+    grad_sq_norm: float  # |G|^2, the true-gradient squared norm
+    trace_sigma: float  # tr(Σ), total per-example gradient variance
+
+    @property
+    def noise_scale(self) -> float:
+        """B_simple = tr(Σ) / |G|²."""
+        if self.grad_sq_norm <= 0:
+            return float("inf")
+        return self.trace_sigma / self.grad_sq_norm
+
+    def efficiency_at(self, batch_size: int) -> float:
+        """Fraction of ideal per-example progress at this batch size:
+        B / (B + B_noise)."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        noise = self.noise_scale
+        if not np.isfinite(noise):
+            return 0.0
+        return batch_size / (batch_size + noise)
+
+
+def gradient_noise_scale(small_norm_sq: float, big_norm_sq: float,
+                         small_batch: int, big_batch: int) -> NoiseScaleEstimate:
+    """Solve for |G|² and tr(Σ) from two batch-size measurements.
+
+    Uses E[|G_B|²] = |G|² + tr(Σ)/B with the unbiased pair estimator
+    of McCandlish et al. Appendix A.1.
+    """
+    if small_batch >= big_batch:
+        raise ValueError("small_batch must be < big_batch")
+    inv_small, inv_big = 1.0 / small_batch, 1.0 / big_batch
+    # |G|^2 estimate (can be slightly negative under noise; clamp).
+    grad_sq = (big_batch * big_norm_sq - small_batch * small_norm_sq) / (
+        big_batch - small_batch
+    )
+    trace = (small_norm_sq - big_norm_sq) / (inv_small - inv_big)
+    return NoiseScaleEstimate(
+        grad_sq_norm=max(grad_sq, 0.0),
+        trace_sigma=max(trace, 0.0),
+    )
+
+
+def _grad_sq_norm(model: DecoderLM, x: np.ndarray, y: np.ndarray) -> float:
+    model.zero_grad()
+    model.loss(x, y).backward()
+    total = 0.0
+    for p in model.parameters():
+        if p.grad is not None:
+            total += float(np.sum(p.grad.astype(np.float64) ** 2))
+    return total
+
+
+def measure_noise_scale(model: DecoderLM, stream, small_batch: int,
+                        big_batch: int, n_estimates: int = 4) -> NoiseScaleEstimate:
+    """Measure B_simple for ``model`` on ``stream``.
+
+    Draws ``n_estimates`` batches of each size from the stream
+    (whose configured batch size must be >= big_batch) and averages
+    the squared gradient norms.
+    """
+    if n_estimates < 1:
+        raise ValueError("n_estimates must be >= 1")
+    if small_batch >= big_batch:
+        raise ValueError("small_batch must be < big_batch")
+    small_norms, big_norms = [], []
+    for _ in range(n_estimates):
+        x, y = stream.next_batch()
+        if x.shape[0] < big_batch:
+            raise ValueError(
+                f"stream batch {x.shape[0]} smaller than big_batch {big_batch}"
+            )
+        big_norms.append(_grad_sq_norm(model, x[:big_batch], y[:big_batch]))
+        small_norms.append(_grad_sq_norm(model, x[:small_batch], y[:small_batch]))
+    return gradient_noise_scale(
+        float(np.mean(small_norms)), float(np.mean(big_norms)),
+        small_batch, big_batch,
+    )

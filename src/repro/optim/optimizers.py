@@ -1,0 +1,137 @@
+"""Optimizers used by the paper: AdamW (ClientOpt) and SGD/Nesterov.
+
+AdamW [41] is the clients' local optimizer; SGD with Nesterov momentum
+is DiLoCo's recommended outer optimizer [9].  Both operate on the
+parameter lists produced by :meth:`repro.nn.Module.parameters` and can
+export/import their state (momenta) so tests can verify the paper's
+"stateless local optimization" choice (Appendix A): Photon *resets*
+optimizer state each round, DiLoCo-style setups may retain it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Parameter
+
+__all__ = ["Optimizer", "AdamW", "SGD"]
+
+
+class Optimizer:
+    """Shared plumbing: parameter list, lr attribute, state export."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        if not params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.params = list(params)
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def load_state_dict(self, state: dict) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def reset_state(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AdamW(Optimizer):
+    """AdamW with decoupled weight decay (Loshchilov & Hutter, 2019).
+
+    Matches the paper's local recipe: betas from Table 4, weight decay
+    applied to all parameters, bias-corrected moment estimates.
+    """
+
+    def __init__(self, params: list[Parameter], lr: float = 6e-4,
+                 betas: tuple[float, float] = (0.9, 0.95),
+                 eps: float = 1e-8, weight_decay: float = 0.1):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self.m = [np.zeros_like(p.data) for p in self.params]
+        self.v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        bias1 = 1.0 - self.beta1**self.t
+        bias2 = 1.0 - self.beta2**self.t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * (g * g)
+            m_hat = self.m[i] / bias1
+            v_hat = self.v[i] / bias2
+            # Decoupled weight decay: applied directly to weights, not
+            # folded into the gradient.
+            p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "t": self.t,
+            "m": [m.copy() for m in self.m],
+            "v": [v.copy() for v in self.v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.t = int(state["t"])
+        self.m = [np.asarray(m, dtype=np.float32).copy() for m in state["m"]]
+        self.v = [np.asarray(v, dtype=np.float32).copy() for v in state["v"]]
+
+    def reset_state(self) -> None:
+        """Drop momenta — the paper's stateless-client mode."""
+        self.t = 0
+        self.m = [np.zeros_like(p.data) for p in self.params]
+        self.v = [np.zeros_like(p.data) for p in self.params]
+
+
+class SGD(Optimizer):
+    """SGD with optional (Nesterov) momentum.
+
+    Used as DiLoCo's outer optimizer (Nesterov, momentum 0.9) in the
+    Table 3 / Figure 8 comparisons.
+    """
+
+    def __init__(self, params: list[Parameter], lr: float,
+                 momentum: float = 0.0, nesterov: bool = False,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        if nesterov and momentum <= 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.weight_decay = weight_decay
+        self.buf = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum > 0.0:
+                self.buf[i] = self.momentum * self.buf[i] + g
+                g = g + self.momentum * self.buf[i] if self.nesterov else self.buf[i]
+            p.data -= self.lr * g
+
+    def state_dict(self) -> dict:
+        return {"buf": [b.copy() for b in self.buf]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.buf = [np.asarray(b, dtype=np.float32).copy() for b in state["buf"]]
+
+    def reset_state(self) -> None:
+        self.buf = [np.zeros_like(p.data) for p in self.params]

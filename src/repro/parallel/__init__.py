@@ -1,0 +1,43 @@
+"""Hardware modelling and simulated intra-client parallelism."""
+
+from .ddp import DDPEngine
+from .fsdp import FSDPEngine, ShardLayout
+from .memory import ClientMemoryModel, MemoryFootprint
+from .pp import PipelineEngine, StageSlot, bubble_fraction, partition_stages
+from .tp import TensorParallelEngine, split_columns, split_rows
+from .hardware import (
+    A100_40GB,
+    H100,
+    RTX4090,
+    GPUSpec,
+    NodeSpec,
+    SiloSpec,
+    activation_bytes_per_sample,
+    calc_batch_size,
+)
+from .strategy import ExecutionPlan, select_strategy
+
+__all__ = [
+    "GPUSpec",
+    "NodeSpec",
+    "SiloSpec",
+    "H100",
+    "A100_40GB",
+    "RTX4090",
+    "calc_batch_size",
+    "activation_bytes_per_sample",
+    "ExecutionPlan",
+    "select_strategy",
+    "DDPEngine",
+    "FSDPEngine",
+    "ShardLayout",
+    "ClientMemoryModel",
+    "MemoryFootprint",
+    "PipelineEngine",
+    "StageSlot",
+    "bubble_fraction",
+    "partition_stages",
+    "TensorParallelEngine",
+    "split_columns",
+    "split_rows",
+]

@@ -1,0 +1,64 @@
+"""Simulated Distributed Data Parallelism (paper Algorithm 2).
+
+DDP semantics: each worker computes gradients on its shard of the
+batch, gradients are averaged (Ring-AllReduce in hardware; a plain
+mean here), and every worker applies the identical update.  Because
+every worker holds identical parameters, we keep ONE model and one
+optimizer and only simulate the gradient math: per-shard backward
+passes whose gradients are averaged before the step.
+
+``tests/test_parallel.py`` asserts the defining property: a DDP step
+over ``k`` shards equals a single-worker step on the full batch
+(up to float32 accumulation order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import DecoderLM
+from ..optim import Optimizer, clip_grad_norm
+
+__all__ = ["DDPEngine"]
+
+
+class DDPEngine:
+    """Run gradient-averaged steps across simulated workers."""
+
+    def __init__(self, model: DecoderLM, optimizer: Optimizer, n_workers: int,
+                 grad_clip: float | None = 1.0):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.model = model
+        self.optimizer = optimizer
+        self.n_workers = n_workers
+        self.grad_clip = grad_clip
+        self.comm_events = 0  # gradient syncs performed (one per step)
+
+    def step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One DDP step over a global batch; returns the mean loss."""
+        if x.shape[0] % self.n_workers != 0:
+            raise ValueError(
+                f"global batch {x.shape[0]} not divisible by {self.n_workers} workers"
+            )
+        shard = x.shape[0] // self.n_workers
+        params = self.model.parameters()
+        grad_sum = [None] * len(params)
+        total_loss = 0.0
+        for w in range(self.n_workers):
+            sl = slice(w * shard, (w + 1) * shard)
+            self.model.zero_grad()
+            loss = self.model.loss(x[sl], y[sl])
+            loss.backward()
+            total_loss += float(loss.data)
+            for i, p in enumerate(params):
+                g = p.grad if p.grad is not None else np.zeros_like(p.data)
+                grad_sum[i] = g.copy() if grad_sum[i] is None else grad_sum[i] + g
+        # AllReduce-mean, then the (single shared) optimizer step.
+        for i, p in enumerate(params):
+            p.grad = grad_sum[i] / self.n_workers
+        self.comm_events += 1
+        if self.grad_clip is not None:
+            clip_grad_norm(params, self.grad_clip)
+        self.optimizer.step()
+        return total_loss / self.n_workers

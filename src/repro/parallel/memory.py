@@ -1,0 +1,73 @@
+"""Host-memory footprint model for the LLM-C multiprocessing stack.
+
+Appendix B.3: every Photon client is "a multiprocessing stack managed
+by a leader process that coordinates subordinate processes handling
+the hardware accelerators ... To minimize the RAM footprint up to 8×,
+the model parameters exchanged are stored in shared memory, accessible
+by all subordinate processes."
+
+This module quantifies that claim: with per-process copies the host
+RAM for parameter staging scales with the worker count; with a shared
+segment it is constant, so the saving approaches ``n_workers×`` as the
+model dominates the per-process overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClientMemoryModel", "MemoryFootprint"]
+
+#: Interpreter + framework baseline per worker process (bytes).
+DEFAULT_PROCESS_OVERHEAD = 256 * 2**20
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Host RAM breakdown for one client."""
+
+    parameter_bytes: int
+    overhead_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.parameter_bytes + self.overhead_bytes
+
+    @property
+    def total_gb(self) -> float:
+        return self.total_bytes / 2**30
+
+
+@dataclass(frozen=True)
+class ClientMemoryModel:
+    """Memory model for an LLM-C with ``n_workers`` subordinate
+    processes staging a model of ``model_bytes``."""
+
+    model_bytes: int
+    n_workers: int
+    process_overhead: int = DEFAULT_PROCESS_OVERHEAD
+
+    def __post_init__(self) -> None:
+        if self.model_bytes < 1 or self.n_workers < 1:
+            raise ValueError("model_bytes and n_workers must be >= 1")
+        if self.process_overhead < 0:
+            raise ValueError("process_overhead must be >= 0")
+
+    def footprint(self, shared_memory: bool) -> MemoryFootprint:
+        """RAM needed to stage parameters for all workers.
+
+        Without shared memory the leader and every subordinate hold a
+        private copy; with it one shared segment serves everyone.
+        """
+        copies = 1 if shared_memory else (1 + self.n_workers)
+        return MemoryFootprint(
+            parameter_bytes=copies * self.model_bytes,
+            overhead_bytes=(1 + self.n_workers) * self.process_overhead,
+        )
+
+    def sharing_factor(self) -> float:
+        """Parameter-staging RAM saved by shared memory
+        (→ ``1 + n_workers`` as overhead becomes negligible)."""
+        private = self.footprint(shared_memory=False).parameter_bytes
+        shared = self.footprint(shared_memory=True).parameter_bytes
+        return private / shared

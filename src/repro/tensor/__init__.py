@@ -1,0 +1,42 @@
+"""Pure-NumPy reverse-mode autograd: the compute substrate.
+
+See :mod:`repro.tensor.autograd` for the engine and
+:mod:`repro.tensor.ops` for the fused transformer ops.
+"""
+
+from .autograd import (
+    Parameter,
+    Tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    randn,
+    stack,
+    tensor,
+    unbroadcast,
+    where,
+    zeros,
+)
+from .ops import cross_entropy, dropout, embedding, layer_norm, log_softmax, softmax
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "no_grad",
+    "is_grad_enabled",
+    "unbroadcast",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "concatenate",
+    "stack",
+    "where",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "layer_norm",
+    "embedding",
+    "dropout",
+]

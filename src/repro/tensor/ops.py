@@ -1,0 +1,144 @@
+"""Fused operations for the transformer hot path.
+
+Each function here has a hand-derived backward pass instead of being a
+composition of primitive ops.  This keeps the autograd graph shallow
+(important: our models run thousands of steps per experiment) and keeps
+all the arithmetic inside vectorized NumPy kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, unbroadcast
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "layer_norm",
+    "embedding",
+    "dropout",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        # dL/dx = s * (g - sum(g * s))
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return (out_data * (grad - dot),)
+
+    return Tensor._make(out_data.astype(np.float32), (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def backward(grad):
+        return (grad - soft * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out_data.astype(np.float32), (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: int = -100) -> Tensor:
+    """Mean token-level cross entropy for causal language modelling.
+
+    Parameters
+    ----------
+    logits:
+        Float tensor of shape ``(..., vocab)``; leading axes are
+        flattened internally (e.g. ``(batch, seq, vocab)``).
+    targets:
+        Integer array broadcastable to the leading axes of ``logits``.
+    ignore_index:
+        Target value to exclude from the loss (used for padding).
+    """
+    targets = np.asarray(targets)
+    vocab = logits.shape[-1]
+    flat_logits = logits.data.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    valid = flat_targets != ignore_index
+    n_valid = int(valid.sum())
+    if n_valid == 0:
+        raise ValueError("cross_entropy received no valid targets")
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_z
+
+    rows = np.arange(flat_targets.shape[0])
+    safe_targets = np.where(valid, flat_targets, 0)
+    picked = log_probs[rows, safe_targets]
+    loss = -(picked * valid).sum() / n_valid
+
+    def backward(grad):
+        # grad is a scalar; softmax-minus-onehot, averaged over tokens.
+        soft = np.exp(log_probs)
+        soft[rows, safe_targets] -= 1.0
+        soft *= (valid / n_valid)[:, None]
+        return ((grad * soft).reshape(logits.shape).astype(np.float32),)
+
+    return Tensor._make(np.asarray(loss, dtype=np.float32), (logits,), backward)
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis with affine parameters."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    centered = x.data - mu
+    var = (centered**2).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = centered * inv_std
+    out_data = x_hat * gamma.data + beta.data
+
+    def backward(grad):
+        d = x.shape[-1]
+        dg = unbroadcast(grad * x_hat, gamma.shape)
+        db = unbroadcast(grad, beta.shape)
+        dxhat = grad * gamma.data
+        # Standard layer-norm backward identity.
+        dx = (
+            dxhat
+            - dxhat.mean(axis=-1, keepdims=True)
+            - x_hat * (dxhat * x_hat).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        del d
+        return (dx.astype(np.float32), dg.astype(np.float32), db.astype(np.float32))
+
+    return Tensor._make(out_data.astype(np.float32), (x, gamma, beta), backward)
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Lookup rows of ``weight`` at integer ``indices``."""
+    indices = np.asarray(indices)
+    out_data = weight.data[indices]
+
+    def backward(grad):
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+        return (full,)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(np.float32) / keep
+    out_data = x.data * mask
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor._make(out_data, (x,), backward)

@@ -1,0 +1,94 @@
+"""Metric aggregation (Algorithm 1's ``AggMetrics``) and run history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["aggregate_metrics", "RoundRecord", "History"]
+
+
+def aggregate_metrics(metric_dicts: list[dict[str, float]],
+                      weights: list[float] | None = None) -> dict[str, float]:
+    """Weighted mean of per-client scalar metrics.
+
+    Keys present in only some clients are averaged over the clients
+    that reported them (weights renormalized accordingly).
+    """
+    if not metric_dicts:
+        return {}
+    if weights is None:
+        weights = [1.0] * len(metric_dicts)
+    keys = set().union(*(d.keys() for d in metric_dicts))
+    out: dict[str, float] = {}
+    for key in keys:
+        num, den = 0.0, 0.0
+        for d, w in zip(metric_dicts, weights):
+            if key in d:
+                num += w * float(d[key])
+                den += w
+        out[key] = num / den if den > 0 else float("nan")
+    return out
+
+
+@dataclass
+class RoundRecord:
+    """Everything measured about one federated round."""
+
+    round_idx: int
+    val_perplexity: float
+    train_loss: float
+    clients: list[str]
+    comm_bytes_up: int = 0
+    comm_bytes_down: int = 0
+    pseudo_grad_norm: float = 0.0
+    client_metrics: dict[str, float] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+    failed_clients: list[str] = field(default_factory=list)
+    retries: int = 0
+
+    @property
+    def train_perplexity(self) -> float:
+        return float(np.exp(self.train_loss))
+
+
+@dataclass
+class History:
+    """Round-by-round training history with convenience accessors."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def val_perplexities(self) -> list[float]:
+        return [r.val_perplexity for r in self.records]
+
+    @property
+    def train_losses(self) -> list[float]:
+        return [r.train_loss for r in self.records]
+
+    @property
+    def total_comm_bytes(self) -> int:
+        return sum(r.comm_bytes_up + r.comm_bytes_down for r in self.records)
+
+    def best_perplexity(self) -> float:
+        if not self.records:
+            raise ValueError("empty history")
+        return min(self.val_perplexities)
+
+    def rounds_to_target(self, target_ppl: float) -> int | None:
+        """First round index whose validation perplexity is at or
+        below ``target_ppl`` (None if never reached)."""
+        for record in self.records:
+            if record.val_perplexity <= target_ppl:
+                return record.round_idx
+        return None

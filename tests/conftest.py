@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FedConfig, ModelConfig, OptimConfig
+from repro.data import CachedTokenStream, SyntheticC4
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def micro_model_config() -> ModelConfig:
+    """Smallest trainable architecture (fast unit tests)."""
+    return ModelConfig("micro", n_blocks=1, d_model=16, n_heads=2,
+                       vocab_size=32, seq_len=16)
+
+
+@pytest.fixture
+def tiny_model_config() -> ModelConfig:
+    return ModelConfig("tiny", n_blocks=2, d_model=32, n_heads=2,
+                       vocab_size=64, seq_len=32)
+
+
+@pytest.fixture
+def fast_optim_config() -> OptimConfig:
+    return OptimConfig(max_lr=3e-3, warmup_steps=4, schedule_steps=256,
+                       batch_size=4, weight_decay=0.01)
+
+
+@pytest.fixture
+def small_fed_config() -> FedConfig:
+    return FedConfig(population=2, clients_per_round=2, local_steps=4, rounds=2)
+
+
+@pytest.fixture
+def c4_stream(micro_model_config):
+    c4 = SyntheticC4(num_shards=2, vocab=micro_model_config.vocab_size, seed=7)
+    return CachedTokenStream(c4.shard(0), batch_size=4,
+                             seq_len=micro_model_config.seq_len,
+                             cache_tokens=4096, seed=3)

@@ -1,0 +1,47 @@
+"""Shared test utilities: finite-difference gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numeric_grad(fn, arrays: list[np.ndarray], index: int, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of ``fn(*arrays).sum()`` w.r.t.
+    ``arrays[index]``; fn receives raw NumPy arrays."""
+    base = [a.astype(np.float64).copy() for a in arrays]
+    grad = np.zeros_like(base[index])
+    flat = grad.reshape(-1)
+    target = base[index].reshape(-1)
+    for i in range(flat.size):
+        original = target[i]
+        target[i] = original + eps
+        plus = float(np.sum(fn(*base)))
+        target[i] = original - eps
+        minus = float(np.sum(fn(*base)))
+        target[i] = original
+        flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(op, arrays: list[np.ndarray], atol: float = 1e-2,
+                    rtol: float = 1e-2) -> None:
+    """Assert autograd gradients of ``op`` match finite differences.
+
+    ``op`` maps Tensors to one Tensor; the scalar loss is its sum.
+    """
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = op(*tensors)
+    out.sum().backward()
+
+    def as_numpy(*raw):
+        return op(*[Tensor(r) for r in raw]).data
+
+    for i, t in enumerate(tensors):
+        expected = numeric_grad(as_numpy, arrays, i)
+        assert t.grad is not None, f"missing gradient for operand {i}"
+        np.testing.assert_allclose(
+            t.grad, expected, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for operand {i}",
+        )

@@ -1,0 +1,180 @@
+"""Tensor and pipeline parallelism: numerical equivalence with the
+monolithic model, sharding/scheduling invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ModelConfig
+from repro.nn import DecoderLM
+from repro.parallel import (
+    PipelineEngine,
+    TensorParallelEngine,
+    bubble_fraction,
+    partition_stages,
+    split_columns,
+    split_rows,
+)
+from repro.tensor import no_grad
+
+CFG = ModelConfig("tp-test", n_blocks=4, d_model=32, n_heads=4,
+                  vocab_size=32, seq_len=16)
+
+
+class TestWeightSplits:
+    def test_column_split_concat_identity(self, rng):
+        w = rng.normal(size=(6, 8)).astype(np.float32)
+        parts = split_columns(w, 4)
+        np.testing.assert_array_equal(np.concatenate(parts, axis=1), w)
+
+    def test_row_split_concat_identity(self, rng):
+        w = rng.normal(size=(8, 6)).astype(np.float32)
+        parts = split_rows(w, 2)
+        np.testing.assert_array_equal(np.concatenate(parts, axis=0), w)
+
+    def test_column_split_matmul_equivalence(self, rng):
+        """x @ W == concat_w(x @ W_w): column parallelism needs no
+        communication."""
+        x = rng.normal(size=(3, 6)).astype(np.float32)
+        w = rng.normal(size=(6, 8)).astype(np.float32)
+        parts = split_columns(w, 2)
+        combined = np.concatenate([x @ p for p in parts], axis=1)
+        np.testing.assert_allclose(combined, x @ w, rtol=1e-5)
+
+    def test_row_split_matmul_equivalence(self, rng):
+        """Σ_w (x_w @ W_w) == x @ W: row parallelism sums partials
+        (the all-reduce)."""
+        x = rng.normal(size=(3, 8)).astype(np.float32)
+        w = rng.normal(size=(8, 6)).astype(np.float32)
+        parts = split_rows(w, 4)
+        x_parts = np.split(x, 4, axis=1)
+        summed = sum(xp @ wp for xp, wp in zip(x_parts, parts))
+        np.testing.assert_allclose(summed, x @ w, rtol=1e-4, atol=1e-5)
+
+    def test_indivisible_rejected(self, rng):
+        w = rng.normal(size=(5, 7)).astype(np.float32)
+        with pytest.raises(ValueError):
+            split_columns(w, 2)
+        with pytest.raises(ValueError):
+            split_rows(w, 2)
+
+
+class TestTensorParallelEngine:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_dense_forward(self, workers, rng):
+        model = DecoderLM(CFG, seed=0)
+        engine = TensorParallelEngine(model, n_workers=workers)
+        tokens = rng.integers(2, CFG.vocab_size, size=10)
+        with no_grad():
+            expected = model(tokens[None, :]).data[0]
+        actual = engine.forward(tokens)
+        np.testing.assert_allclose(actual, expected, rtol=1e-3, atol=1e-3)
+
+    def test_non_alibi_variant(self, rng):
+        cfg = CFG.scaled(alibi=False)
+        model = DecoderLM(cfg, seed=0)
+        engine = TensorParallelEngine(model, n_workers=2)
+        tokens = rng.integers(2, cfg.vocab_size, size=8)
+        with no_grad():
+            expected = model(tokens[None, :]).data[0]
+        np.testing.assert_allclose(engine.forward(tokens), expected,
+                                   rtol=1e-3, atol=1e-3)
+
+    def test_two_allreduces_per_block(self, rng):
+        model = DecoderLM(CFG, seed=0)
+        engine = TensorParallelEngine(model, n_workers=2)
+        engine.forward(rng.integers(2, CFG.vocab_size, size=6))
+        assert engine.allreduce_count == 2 * CFG.n_blocks
+
+    def test_worker_memory_scales_down(self):
+        model = DecoderLM(CFG, seed=0)
+        solo = TensorParallelEngine(model, n_workers=1)
+        quad = TensorParallelEngine(model, n_workers=4)
+        assert quad.worker_weight_bytes(0) < solo.worker_weight_bytes(0) / 3
+
+    def test_head_divisibility_enforced(self):
+        model = DecoderLM(CFG, seed=0)
+        with pytest.raises(ValueError):
+            TensorParallelEngine(model, n_workers=3)
+
+    def test_sequence_length_checked(self, rng):
+        model = DecoderLM(CFG, seed=0)
+        engine = TensorParallelEngine(model, n_workers=2)
+        with pytest.raises(ValueError):
+            engine.forward(np.zeros(CFG.seq_len + 1, dtype=np.int64))
+
+
+class TestStagePartition:
+    def test_even_partition(self):
+        assert partition_stages(4, 2) == [[0, 1], [2, 3]]
+
+    def test_uneven_partition_front_loaded(self):
+        stages = partition_stages(5, 2)
+        assert stages == [[0, 1, 2], [3, 4]]
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            partition_stages(2, 3)
+        with pytest.raises(ValueError):
+            partition_stages(4, 0)
+
+    @given(st.integers(1, 32), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_covers_all_blocks(self, n_blocks, n_stages):
+        if n_stages > n_blocks:
+            return
+        stages = partition_stages(n_blocks, n_stages)
+        flat = [b for stage in stages for b in stage]
+        assert flat == list(range(n_blocks))
+        sizes = [len(s) for s in stages]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestPipelineEngine:
+    @pytest.mark.parametrize("stages,micro", [(1, 1), (2, 1), (2, 2), (4, 4)])
+    def test_matches_monolithic_forward(self, stages, micro, rng):
+        model = DecoderLM(CFG, seed=0)
+        engine = PipelineEngine(model, n_stages=stages)
+        tokens = rng.integers(2, CFG.vocab_size, size=(4, 10))
+        with no_grad():
+            expected = model(tokens).data
+        actual = engine.forward(tokens, n_microbatches=micro)
+        np.testing.assert_allclose(actual, expected, rtol=1e-4, atol=1e-4)
+
+    def test_indivisible_microbatches_rejected(self, rng):
+        model = DecoderLM(CFG, seed=0)
+        engine = PipelineEngine(model, n_stages=2)
+        tokens = rng.integers(2, CFG.vocab_size, size=(3, 8))
+        with pytest.raises(ValueError):
+            engine.forward(tokens, n_microbatches=2)
+
+    def test_schedule_shape(self):
+        model = DecoderLM(CFG, seed=0)
+        engine = PipelineEngine(model, n_stages=2)
+        slots = engine.schedule(n_microbatches=3)
+        assert len(slots) == 6
+        # Stage s cannot start micro-batch m before stage s-1 finished it.
+        table = {(s.stage, s.microbatch): s for s in slots}
+        for (stage, micro), slot in table.items():
+            if stage > 0:
+                assert slot.start >= table[(stage - 1, micro)].end
+
+    def test_bubble_matches_analytic(self):
+        model = DecoderLM(CFG, seed=0)
+        for stages in (1, 2, 4):
+            engine = PipelineEngine(model, n_stages=stages)
+            for micro in (1, 2, 8):
+                assert engine.simulated_bubble(micro) == pytest.approx(
+                    bubble_fraction(stages, micro)
+                )
+
+    def test_bubble_shrinks_with_microbatches(self):
+        assert bubble_fraction(4, 1) > bubble_fraction(4, 8) > bubble_fraction(4, 64)
+        assert bubble_fraction(1, 5) == 0.0
+
+    def test_bubble_validation(self):
+        with pytest.raises(ValueError):
+            bubble_fraction(0, 1)

@@ -1,0 +1,76 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.model == "tiny"
+        assert args.clients == 4
+
+    def test_walltime_args(self):
+        args = build_parser().parse_args(
+            ["walltime", "--model", "7B", "--clients", "4", "--overlap"])
+        assert args.model == "7B"
+        assert args.overlap
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "7B" in out
+        assert "regional resources" in out
+
+    def test_topology(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "Maharashtra" in out
+        assert "best RAR ring" in out
+
+    def test_walltime(self, capsys):
+        assert main(["walltime", "--model", "125M", "--clients", "8",
+                     "--local-steps", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "round compute   : 256.0 s" in out
+
+    def test_walltime_overlap_cheaper(self, capsys):
+        main(["walltime", "--model", "7B", "--clients", "4",
+              "--topology", "ps", "--bandwidth-gbps", "1"])
+        plain = capsys.readouterr().out
+        main(["walltime", "--model", "7B", "--clients", "4",
+              "--topology", "ps", "--bandwidth-gbps", "1", "--overlap"])
+        overlapped = capsys.readouterr().out
+
+        def total(text):
+            line = [l for l in text.splitlines() if "total wall" in l][0]
+            return float(line.split(":")[1].split("h")[0])
+
+        assert total(overlapped) <= total(plain)
+
+    def test_train_micro(self, capsys):
+        assert main(["train", "--model", "tiny", "--clients", "2",
+                     "--local-steps", "2", "--rounds", "1",
+                     "--batch-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "best perplexity" in out
+
+    def test_diloco_micro(self, capsys):
+        assert main(["diloco", "--model", "tiny", "--clients", "2",
+                     "--local-steps", "2", "--rounds", "1",
+                     "--batch-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "val_ppl" in out

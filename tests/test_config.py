@@ -1,0 +1,146 @@
+"""Paper presets and configuration invariants (Tables 1, 4, 5, 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    PAPER_FED_SETUPS,
+    PAPER_HYPERPARAMS,
+    PAPER_MODELS,
+    PAPER_RESOURCES,
+    PAPER_THROUGHPUTS,
+    TINY_MODELS,
+    FedConfig,
+    ModelConfig,
+    OptimConfig,
+    model_config,
+)
+from repro.optim import federated_schedule_steps
+
+
+class TestTable4Architectures:
+    def test_all_sizes_present(self):
+        assert set(PAPER_MODELS) == {"75M", "125M", "350M", "1.3B", "3B", "7B"}
+
+    @pytest.mark.parametrize("name,blocks,d,heads", [
+        ("75M", 3, 896, 16),
+        ("125M", 12, 768, 12),
+        ("350M", 24, 1024, 16),
+        ("1.3B", 24, 2048, 16),
+        ("3B", 32, 2560, 20),
+        ("7B", 32, 4096, 32),
+    ])
+    def test_table4_values(self, name, blocks, d, heads):
+        cfg = PAPER_MODELS[name]
+        assert cfg.n_blocks == blocks
+        assert cfg.d_model == d
+        assert cfg.n_heads == heads
+        assert cfg.expansion_ratio == 4
+        assert cfg.vocab_size == 50_368
+        assert cfg.adam_betas == (0.9, 0.95)
+
+    def test_sequence_lengths(self):
+        assert PAPER_MODELS["75M"].seq_len == 1024
+        for name in ("125M", "350M", "1.3B", "3B", "7B"):
+            assert PAPER_MODELS[name].seq_len == 2048
+
+    def test_param_bytes_bf16(self):
+        cfg = PAPER_MODELS["125M"]
+        assert cfg.param_bytes == 2 * cfg.n_params
+
+
+class TestTable5Hyperparams:
+    def test_125m_schedule_lengths(self):
+        fed = PAPER_HYPERPARAMS["125M"]["federated"]
+        cent = PAPER_HYPERPARAMS["125M"]["centralized"]
+        assert fed.schedule_steps == 40_960
+        assert cent.schedule_steps == 5_120
+        # The federated stretch rule links the two rows.
+        assert federated_schedule_steps(
+            cent.schedule_steps, cent.batch_size, fed.batch_size
+        ) == fed.schedule_steps
+
+    @pytest.mark.parametrize("name,max_lr", [
+        ("125M", 6.0e-4), ("1.3B", 2.0e-4), ("3B", 1.6e-4), ("7B", 1.2e-4),
+    ])
+    def test_max_lrs(self, name, max_lr):
+        assert PAPER_HYPERPARAMS[name]["federated"].max_lr == max_lr
+
+    def test_min_lr_is_tenth(self):
+        cfg = PAPER_HYPERPARAMS["125M"]["federated"]
+        assert cfg.min_lr == pytest.approx(0.1 * cfg.max_lr)
+
+    def test_small_local_batch_only_for_125m(self):
+        assert PAPER_HYPERPARAMS["125M"]["federated"].batch_size == 32
+        assert PAPER_HYPERPARAMS["7B"]["federated"].batch_size == 1024
+
+
+class TestTable6AndThroughputs:
+    def test_125m_sweeps(self):
+        setup = PAPER_FED_SETUPS["125M"]
+        assert setup["population"] == [1, 2, 4, 8, 16]
+        assert setup["local_steps"] == [64, 128, 512]
+        assert set(setup["datasets"]) == {"c4", "pile"}
+
+    def test_billion_scale_500_steps(self):
+        for name in ("1.3B", "3B", "7B"):
+            assert PAPER_FED_SETUPS[name]["local_steps"] == [500]
+
+    def test_throughputs_fed_slower_for_big_models(self):
+        """Appendix B.1: federated per-client ν < centralized ν for
+        billion-scale models (clients hold fewer GPUs)."""
+        for name in ("1.3B", "3B", "7B"):
+            nu = PAPER_THROUGHPUTS[name]
+            assert nu["federated"] < nu["centralized"]
+
+    def test_125m_throughput_equal(self):
+        nu = PAPER_THROUGHPUTS["125M"]
+        assert nu["federated"] == nu["centralized"] == 2.0
+
+
+class TestTable1Resources:
+    def test_regions_per_size(self):
+        assert set(PAPER_RESOURCES["7B"]) == {"England", "Utah", "Texas", "Quebec"}
+        assert len(PAPER_RESOURCES["125M"]) == 5
+
+    def test_7b_uses_8_gpu_clients(self):
+        for clients, gpus in PAPER_RESOURCES["7B"].values():
+            assert (clients, gpus) == (1, 8)
+
+    def test_125m_single_gpu_clients(self):
+        for clients, gpus in PAPER_RESOURCES["125M"].values():
+            assert gpus == 1
+            assert clients == 2
+
+
+class TestConfigBehaviour:
+    def test_model_config_lookup(self):
+        assert model_config("125M") is PAPER_MODELS["125M"]
+        assert model_config("tiny") is TINY_MODELS["tiny"]
+        with pytest.raises(KeyError):
+            model_config("13B")
+
+    def test_scaled_override(self):
+        cfg = PAPER_MODELS["125M"].scaled(vocab_size=128, seq_len=64)
+        assert cfg.vocab_size == 128
+        assert cfg.n_blocks == PAPER_MODELS["125M"].n_blocks
+
+    def test_fed_config_properties(self):
+        fed = FedConfig(population=8, clients_per_round=4, local_steps=64, rounds=10)
+        assert fed.participation == 0.5
+        assert fed.total_client_steps == 640
+
+    def test_tiny_models_are_small(self):
+        for cfg in TINY_MODELS.values():
+            assert cfg.n_params < 2_000_000
+
+    def test_tiny_family_ordered_by_size(self):
+        sizes = [TINY_MODELS[n].n_params for n in ("tiny", "small", "base", "large")]
+        assert sizes == sorted(sizes)
+
+    def test_optim_config_defaults_match_paper(self):
+        cfg = OptimConfig()
+        assert cfg.betas == (0.9, 0.95)
+        assert cfg.weight_decay == 0.1
+        assert cfg.grad_clip == 1.0

@@ -1,0 +1,295 @@
+"""Tokenizers, synthetic corpora, shards and streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DEFAULT_ALPHABET,
+    CachedTokenStream,
+    CharTokenizer,
+    MarkovSource,
+    MixedStream,
+    SyntheticC4,
+    SyntheticPile,
+    TokenStream,
+    WordTokenizer,
+    assign_shards,
+    kernel_divergence,
+    make_source,
+    mixed_kernel,
+    partition_stream,
+    shards_per_client,
+)
+from repro.data.synthetic import PILE_SOURCE_NAMES
+
+
+class TestCharTokenizer:
+    def test_roundtrip(self):
+        tok = CharTokenizer()
+        text = "hello world, this is photon.\n"
+        np.testing.assert_array_equal(tok.encode(text).shape, (len(text),))
+        assert tok.decode(tok.encode(text)) == text
+
+    def test_unknown_maps_to_unk(self):
+        tok = CharTokenizer()
+        ids = tok.encode("a!b")
+        assert ids[1] == CharTokenizer.UNK
+
+    def test_pad_skipped_in_decode(self):
+        tok = CharTokenizer()
+        ids = np.array([tok.PAD, *tok.encode("ab"), tok.PAD])
+        assert tok.decode(ids) == "ab"
+
+    def test_vocab_size(self):
+        tok = CharTokenizer()
+        assert tok.vocab_size == len(DEFAULT_ALPHABET) + 2
+
+    def test_duplicate_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            CharTokenizer("aab")
+
+    @given(st.text(alphabet=DEFAULT_ALPHABET, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, text):
+        tok = CharTokenizer()
+        assert tok.decode(tok.encode(text)) == text
+
+
+class TestWordTokenizer:
+    def test_fit_and_encode(self):
+        tok = WordTokenizer(max_vocab=10).fit("the cat sat on the mat the end")
+        ids = tok.encode("the cat")
+        assert ids.shape == (2,)
+        assert (ids >= 2).all()
+
+    def test_unknown_word(self):
+        tok = WordTokenizer(max_vocab=4).fit("a a b b c")
+        assert tok.encode("zebra")[0] == WordTokenizer.UNK
+
+    def test_encode_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            WordTokenizer().encode("hi")
+
+    def test_vocab_capped(self):
+        corpus = " ".join(f"w{i}" for i in range(100))
+        tok = WordTokenizer(max_vocab=10).fit(corpus)
+        assert tok.vocab_size == 10
+
+
+class TestMarkovSource:
+    def test_kernel_rows_stochastic(self):
+        source = make_source("c4", vocab=32)
+        np.testing.assert_allclose(source.kernel.sum(axis=1), np.ones(32), atol=1e-8)
+
+    def test_samples_in_range_and_no_specials(self):
+        source = make_source("c4", vocab=32)
+        tokens = source.sample_tokens(500)
+        assert tokens.min() >= 2
+        assert tokens.max() < 32
+
+    def test_seeded_reproducibility(self):
+        a = MarkovSource(make_source("c4", vocab=32).kernel, seed=5)
+        b = MarkovSource(make_source("c4", vocab=32).kernel, seed=5)
+        np.testing.assert_array_equal(a.sample_tokens(100), b.sample_tokens(100))
+
+    def test_different_seeds_differ(self):
+        kernel = make_source("c4", vocab=32).kernel
+        a = MarkovSource(kernel, seed=1).sample_tokens(200)
+        b = MarkovSource(kernel, seed=2).sample_tokens(200)
+        assert not np.array_equal(a, b)
+
+    def test_entropy_rate_bounds(self):
+        source = make_source("c4", vocab=32)
+        h = source.entropy_rate()
+        assert 0.0 < h < np.log(32)
+        assert source.optimal_perplexity() == pytest.approx(np.exp(h))
+
+    def test_empirical_bigrams_match_kernel(self):
+        """Sampled transition frequencies converge to the kernel."""
+        source = make_source("c4", vocab=16)
+        tokens = source.sample_tokens(40_000)
+        counts = np.zeros((16, 16))
+        np.add.at(counts, (tokens[:-1], tokens[1:]), 1.0)
+        rows = counts.sum(axis=1, keepdims=True)
+        mask = rows[:, 0] > 500
+        empirical = counts[mask] / rows[mask]
+        np.testing.assert_allclose(empirical, source.kernel[mask], atol=0.05)
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovSource(np.ones((3, 3)), seed=0)
+        with pytest.raises(ValueError):
+            MarkovSource(np.ones((2, 3)) / 3, seed=0)
+
+
+class TestKernelMixing:
+    def test_zero_heterogeneity_is_base(self):
+        a = make_source("arxiv", vocab=32, heterogeneity=0.0)
+        b = make_source("gutenberg", vocab=32, heterogeneity=0.0)
+        np.testing.assert_allclose(a.kernel, b.kernel)
+
+    def test_full_heterogeneity_distinct(self):
+        a = make_source("arxiv", vocab=32, heterogeneity=1.0)
+        b = make_source("gutenberg", vocab=32, heterogeneity=1.0)
+        assert kernel_divergence(a.kernel, b.kernel) > 0.3
+
+    def test_divergence_monotone_in_heterogeneity(self):
+        divs = []
+        for h in (0.0, 0.5, 1.0):
+            a = make_source("arxiv", vocab=32, heterogeneity=h)
+            b = make_source("wikipedia", vocab=32, heterogeneity=h)
+            divs.append(kernel_divergence(a.kernel, b.kernel))
+        assert divs[0] < divs[1] < divs[2]
+
+    def test_mixed_kernel_stays_stochastic(self):
+        a = make_source("arxiv", vocab=16).kernel
+        b = make_source("c4", vocab=16).kernel
+        mix = mixed_kernel(a, b, 0.3)
+        np.testing.assert_allclose(mix.sum(axis=1), np.ones(16), atol=1e-8)
+
+    def test_invalid_heterogeneity(self):
+        a = make_source("arxiv", vocab=16).kernel
+        with pytest.raises(ValueError):
+            mixed_kernel(a, a, 1.5)
+
+
+class TestSyntheticC4:
+    def test_shards_share_distribution(self):
+        c4 = SyntheticC4(num_shards=4, vocab=32)
+        np.testing.assert_allclose(c4.shard(0).kernel, c4.shard(3).kernel)
+
+    def test_shards_have_distinct_streams(self):
+        c4 = SyntheticC4(num_shards=4, vocab=32)
+        a = c4.shard(0).sample_tokens(100)
+        b = c4.shard(1).sample_tokens(100)
+        assert not np.array_equal(a, b)
+
+    def test_shard_bounds(self):
+        c4 = SyntheticC4(num_shards=4, vocab=32)
+        with pytest.raises(IndexError):
+            c4.shard(4)
+
+    def test_validation_distinct_from_shards(self):
+        c4 = SyntheticC4(num_shards=2, vocab=32)
+        val = c4.validation().sample_tokens(100)
+        train = c4.shard(0).sample_tokens(100)
+        assert not np.array_equal(val, train)
+
+
+class TestSyntheticPile:
+    def test_client_source_counts(self):
+        pile = SyntheticPile(vocab=32)
+        for n in (4, 8, 16):
+            assert len(pile.client_sources(n)) == n
+
+    def test_invalid_client_count(self):
+        with pytest.raises(ValueError):
+            SyntheticPile(vocab=32).client_sources(6)
+
+    def test_four_clients_get_distinct_sources(self):
+        pile = SyntheticPile(vocab=32)
+        clients = pile.client_sources(4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert kernel_divergence(clients[i].kernel, clients[j].kernel) > 0.1
+
+    def test_split_clients_share_source_kernel(self):
+        pile = SyntheticPile(vocab=32)
+        clients = pile.client_sources(8)
+        # Clients 0,1 both hold the first source.
+        np.testing.assert_allclose(clients[0].kernel, clients[1].kernel)
+
+    def test_source_names(self):
+        assert set(PILE_SOURCE_NAMES) == {"arxiv", "c4", "wikipedia", "gutenberg"}
+
+
+class TestStreams:
+    def test_token_stream_batch_shapes(self):
+        source = make_source("c4", vocab=32)
+        stream = TokenStream(source, batch_size=3, seq_len=10)
+        x, y = stream.next_batch()
+        assert x.shape == (3, 10) and y.shape == (3, 10)
+        np.testing.assert_array_equal(x[:, 1:], y[:, :-1])
+
+    def test_cached_stream_shapes_and_shift(self):
+        source = make_source("c4", vocab=32)
+        stream = CachedTokenStream(source, batch_size=4, seq_len=8,
+                                   cache_tokens=1024, seed=0)
+        x, y = stream.next_batch()
+        assert x.shape == (4, 8)
+        np.testing.assert_array_equal(x[:, 1:], y[:, :-1])
+
+    def test_cached_stream_deterministic(self):
+        source = make_source("c4", vocab=32)
+        a = CachedTokenStream(source, 2, 8, cache_tokens=512, seed=1)
+        b = CachedTokenStream(source, 2, 8, cache_tokens=512, seed=1)
+        np.testing.assert_array_equal(a.next_batch()[0], b.next_batch()[0])
+
+    def test_cache_too_small_rejected(self):
+        source = make_source("c4", vocab=32)
+        with pytest.raises(ValueError):
+            CachedTokenStream(source, 2, 100, cache_tokens=150)
+
+    def test_tokens_served_accounting(self):
+        source = make_source("c4", vocab=32)
+        stream = CachedTokenStream(source, 2, 8, cache_tokens=512)
+        stream.next_batch()
+        stream.next_batch()
+        assert stream.tokens_served == 2 * 2 * 8
+
+    def test_mixed_stream_geometry_checked(self):
+        source = make_source("c4", vocab=32)
+        a = CachedTokenStream(source, 2, 8, cache_tokens=512)
+        b = CachedTokenStream(source, 2, 16, cache_tokens=512)
+        with pytest.raises(ValueError):
+            MixedStream([a, b])
+
+    def test_mixed_stream_weights(self):
+        arxiv = make_source("arxiv", vocab=32)
+        c4 = make_source("c4", vocab=32)
+        a = CachedTokenStream(arxiv, 4, 8, cache_tokens=512, seed=0)
+        b = CachedTokenStream(c4, 4, 8, cache_tokens=512, seed=1)
+        mixed = MixedStream([a, b], weights=[1.0, 0.0], seed=0)
+        x, _ = mixed.next_batch()
+        assert x.shape == (4, 8)
+
+    def test_mixed_stream_invalid_weights(self):
+        source = make_source("c4", vocab=32)
+        a = CachedTokenStream(source, 2, 8, cache_tokens=512)
+        with pytest.raises(ValueError):
+            MixedStream([a], weights=[-1.0])
+
+    def test_partition_stream(self):
+        source = make_source("c4", vocab=32)
+        parts = partition_stream(source, 3, batch_size=2, seq_len=8, seed=0)
+        assert len(parts) == 3
+        batches = [p.next_batch()[0] for p in parts]
+        assert not np.array_equal(batches[0], batches[1])
+
+
+class TestSharding:
+    def test_one_shard_per_client(self):
+        groups = assign_shards(64, 16, seed=0)
+        assert len(groups) == 16
+        flat = [s for g in groups for s in g]
+        assert len(flat) == len(set(flat))
+        assert all(len(g) == 4 for g in groups)
+
+    def test_paper_setup_n_clients_n_shards(self):
+        groups = assign_shards(64, 64)
+        assert all(len(g) == 1 for g in groups)
+
+    def test_too_many_clients_rejected(self):
+        with pytest.raises(ValueError):
+            assign_shards(4, 8)
+
+    def test_shards_per_client(self):
+        assert shards_per_client(64, 16) == 4
+        assert shards_per_client(64, 64) == 1
+
+    def test_deterministic_given_seed(self):
+        assert assign_shards(16, 4, seed=3) == assign_shards(16, 4, seed=3)

@@ -1,0 +1,139 @@
+"""Perplexity evaluation and the downstream task suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.data import CachedTokenStream, SyntheticC4, make_source
+from repro.eval import (
+    BigramTask,
+    ClozeTask,
+    CopyTask,
+    InductionTask,
+    default_suite,
+    evaluate_loss,
+    evaluate_perplexity,
+    run_suite,
+    score_task,
+)
+from repro.nn import DecoderLM
+from repro.optim import AdamW
+
+CFG = ModelConfig("micro", n_blocks=1, d_model=16, n_heads=2, vocab_size=32, seq_len=24)
+
+
+def make_stream(batch=4):
+    c4 = SyntheticC4(num_shards=1, vocab=CFG.vocab_size, seed=1)
+    return CachedTokenStream(c4.shard(0), batch_size=batch, seq_len=CFG.seq_len,
+                             cache_tokens=2048, seed=0)
+
+
+class TestPerplexity:
+    def test_untrained_model_near_uniform(self):
+        model = DecoderLM(CFG, seed=0)
+        ppl = evaluate_perplexity(model, make_stream(), n_batches=2)
+        assert abs(np.log(ppl) - np.log(CFG.vocab_size)) < 0.5
+
+    def test_exp_relationship(self):
+        model = DecoderLM(CFG, seed=0)
+        stream_a, stream_b = make_stream(), make_stream()
+        loss = evaluate_loss(model, stream_a, n_batches=3)
+        ppl = evaluate_perplexity(model, stream_b, n_batches=3)
+        assert ppl == pytest.approx(np.exp(loss), rel=1e-5)
+
+    def test_restores_training_mode(self):
+        model = DecoderLM(CFG, seed=0)
+        evaluate_loss(model, make_stream(), n_batches=1)
+        assert model.training
+
+    def test_invalid_batches(self):
+        with pytest.raises(ValueError):
+            evaluate_loss(DecoderLM(CFG), make_stream(), n_batches=0)
+
+
+class TestTaskGenerators:
+    def test_copy_example_structure(self):
+        task = CopyTask(CFG.vocab_size, seed=0, span=4)
+        ex = task.make_example()
+        assert ex.correct != ex.distractor
+        assert ex.prompt.min() >= 2
+        # The correct answer continues the copy of the first span.
+        j = len(ex.prompt) - (4 + 1)  # prompt = span + sep + j copied
+        assert ex.correct == ex.prompt[j]
+
+    def test_induction_pattern(self):
+        task = InductionTask(CFG.vocab_size, seed=0, repeats=3)
+        ex = task.make_example()
+        a, b = ex.prompt[0], ex.prompt[1]
+        assert ex.prompt[-1] == a
+        assert ex.correct == b
+        assert ex.distractor not in (a, b)
+
+    def test_bigram_correct_is_plausible(self):
+        source = make_source("c4", vocab=CFG.vocab_size)
+        task = BigramTask(source, seed=0)
+        for _ in range(10):
+            ex = task.make_example()
+            last = int(ex.prompt[-1])
+            assert source.kernel[last, ex.correct] > 0
+            assert source.kernel[last, ex.distractor] <= 1e-12
+
+    def test_cloze_recalls_pair(self):
+        task = ClozeTask(CFG.vocab_size, seed=0, n_pairs=2)
+        ex = task.make_example()
+        key = ex.prompt[-1]
+        # The correct value follows the queried key in the context.
+        positions = np.where(ex.prompt[:-1] == key)[0]
+        assert any(ex.prompt[p + 1] == ex.correct for p in positions)
+
+    def test_small_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            CopyTask(vocab_size=3)
+
+    def test_examples_seeded(self):
+        a = CopyTask(CFG.vocab_size, seed=5).make_example()
+        b = CopyTask(CFG.vocab_size, seed=5).make_example()
+        np.testing.assert_array_equal(a.prompt, b.prompt)
+        assert a.correct == b.correct
+
+
+class TestScoring:
+    def test_untrained_model_near_chance(self):
+        model = DecoderLM(CFG, seed=0)
+        task = CopyTask(CFG.vocab_size, seed=0)
+        acc = score_task(model, task, n_examples=40)
+        assert 0.2 <= acc <= 0.8  # chance is 0.5
+
+    def test_bigram_accuracy_improves_with_training(self):
+        """Training on the corpus should teach the Markov kernel,
+        lifting bigram-task accuracy well above chance."""
+        model = DecoderLM(CFG, seed=0)
+        stream = make_stream(batch=8)
+        opt = AdamW(model.parameters(), lr=5e-3, weight_decay=0.0)
+        source = SyntheticC4(num_shards=1, vocab=CFG.vocab_size, seed=1).shard(0)
+        task = BigramTask(source, seed=0)
+        before = score_task(model, task, n_examples=50)
+        for _ in range(60):
+            x, y = stream.next_batch()
+            loss = model.loss(x, y)
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        after = score_task(model, task, n_examples=50)
+        assert after > before
+        assert after > 0.8
+
+    def test_run_suite_keys(self):
+        model = DecoderLM(CFG, seed=0)
+        source = make_source("c4", vocab=CFG.vocab_size)
+        tasks = default_suite(source, CFG.vocab_size)
+        results = run_suite(model, tasks, n_examples=5)
+        assert set(results) == {"copy", "induction", "bigram", "cloze"}
+        assert all(0.0 <= v <= 1.0 for v in results.values())
+
+    def test_invalid_examples(self):
+        model = DecoderLM(CFG, seed=0)
+        with pytest.raises(ValueError):
+            score_task(model, CopyTask(CFG.vocab_size), n_examples=0)

@@ -1,0 +1,350 @@
+"""Extension features: contribution tracking, power-of-choice,
+proximal clients, comm overlap, int8 codec, parallel aggregation,
+hyperopt, repetition source, cross-perplexity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
+from repro.data import CachedTokenStream, SyntheticC4, make_source
+from repro.data.synthetic import (
+    RepetitionSource,
+    cross_perplexity,
+    make_kernel,
+    stationary_distribution,
+)
+from repro.fed import (
+    Aggregator,
+    Candidate,
+    ContributionTracker,
+    LLMClient,
+    Link,
+    Photon,
+    PowerOfChoiceSampler,
+    cosine_alignment,
+    successive_halving,
+)
+from repro.fed.types import RoundInfo
+from repro.net.walltime import RoundTiming, WallTimeModel
+from repro.nn import DecoderLM
+from repro.optim import ConstantLR
+from repro.utils import decode_state, encode_state, state_to_vector
+
+CFG = ModelConfig("micro", n_blocks=1, d_model=16, n_heads=2, vocab_size=32, seq_len=16)
+OPTIM = OptimConfig(max_lr=3e-3, warmup_steps=2, schedule_steps=64, batch_size=4,
+                    weight_decay=0.0)
+
+
+def make_stream(shard=0, seed=0):
+    c4 = SyntheticC4(num_shards=4, vocab=CFG.vocab_size, seed=1)
+    return CachedTokenStream(c4.shard(shard), batch_size=4, seq_len=CFG.seq_len,
+                             cache_tokens=2048, seed=seed)
+
+
+class TestCosineAlignment:
+    def test_identical_updates_align(self, rng):
+        u = {"w": rng.normal(size=8).astype(np.float32)}
+        assert cosine_alignment(u, u) == pytest.approx(1.0, abs=1e-5)
+
+    def test_opposite_updates_anti_align(self, rng):
+        u = {"w": rng.normal(size=8).astype(np.float32)}
+        neg = {"w": -u["w"]}
+        assert cosine_alignment(u, neg) == pytest.approx(-1.0, abs=1e-5)
+
+    def test_zero_update_is_zero(self):
+        z = {"w": np.zeros(4, dtype=np.float32)}
+        assert cosine_alignment(z, z) == 0.0
+
+
+class TestContributionTracker:
+    def test_aligned_client_scores_higher(self, rng):
+        tracker = ContributionTracker()
+        aggregate = {"w": np.ones(8, dtype=np.float32)}
+        updates = {
+            "aligned": {"w": np.ones(8, dtype=np.float32)},
+            "orthogonal": {"w": np.array([1, -1] * 4, dtype=np.float32)},
+        }
+        scores = tracker.record_round(updates, aggregate)
+        assert scores["aligned"] > scores["orthogonal"]
+
+    def test_ranking_order(self, rng):
+        tracker = ContributionTracker(decay=0.5)
+        aggregate = {"w": np.ones(4, dtype=np.float32)}
+        for _ in range(3):
+            tracker.record_round(
+                {"good": {"w": np.ones(4, dtype=np.float32)},
+                 "bad": {"w": np.full(4, -1.0, dtype=np.float32)}},
+                aggregate,
+            )
+        ranking = tracker.ranking()
+        assert ranking[0][0] == "good"
+        assert tracker.rounds_seen["good"] == 3
+
+    def test_empty_round_rejected(self):
+        with pytest.raises(ValueError):
+            ContributionTracker().record_round({}, {"w": np.ones(1)})
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            ContributionTracker(decay=0.0)
+
+
+class TestPowerOfChoice:
+    POP = [f"c{i}" for i in range(8)]
+
+    def test_selects_k(self):
+        sampler = PowerOfChoiceSampler(k=2, candidates=4, seed=0)
+        assert len(sampler.sample(self.POP, 0)) == 2
+
+    def test_prefers_high_loss_clients(self):
+        sampler = PowerOfChoiceSampler(k=1, candidates=8, seed=0)
+        sampler.update_losses({c: 0.1 for c in self.POP})
+        sampler.update_losses({"c3": 9.9})
+        assert sampler.sample(self.POP, 0) == ["c3"]
+
+    def test_unknown_losses_explored_first(self):
+        sampler = PowerOfChoiceSampler(k=1, candidates=8, seed=0)
+        sampler.update_losses({c: 1.0 for c in self.POP if c != "c5"})
+        assert sampler.sample(self.POP, 0) == ["c5"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerOfChoiceSampler(k=3, candidates=2)
+        with pytest.raises(ValueError):
+            PowerOfChoiceSampler(k=1, candidates=1).sample([], 0)
+
+
+class TestProximalClient:
+    def test_large_mu_pins_client_to_global(self):
+        global_state = DecoderLM(CFG, seed=7).state_dict()
+        info = RoundInfo(0, 4, 0)
+
+        free = LLMClient("free", CFG, make_stream(), OPTIM, ConstantLR(3e-3))
+        pinned = LLMClient("pinned", CFG, make_stream(), OPTIM, ConstantLR(3e-3),
+                           proximal_mu=100.0)
+        free_update = free.train(global_state, info)
+        pinned_update = pinned.train(global_state, info)
+
+        free_norm = np.linalg.norm(state_to_vector(free_update.delta))
+        pinned_norm = np.linalg.norm(state_to_vector(pinned_update.delta))
+        assert pinned_norm < free_norm
+
+    def test_zero_mu_is_default_behaviour(self):
+        global_state = DecoderLM(CFG, seed=7).state_dict()
+        info = RoundInfo(0, 2, 0)
+        a = LLMClient("a", CFG, make_stream(seed=5), OPTIM, ConstantLR(3e-3))
+        b = LLMClient("b", CFG, make_stream(seed=5), OPTIM, ConstantLR(3e-3),
+                      proximal_mu=0.0)
+        ua = a.train(global_state, info)
+        ub = b.train(global_state, info)
+        np.testing.assert_allclose(state_to_vector(ua.delta),
+                                   state_to_vector(ub.delta), atol=1e-6)
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ValueError):
+            LLMClient("x", CFG, make_stream(), OPTIM, ConstantLR(3e-3),
+                      proximal_mu=-1.0)
+
+
+class TestOverlapTiming:
+    def test_overlap_takes_max(self):
+        timing = RoundTiming(compute_s=10.0, comm_s=4.0, overlapped=True)
+        assert timing.total_s == 10.0
+        plain = RoundTiming(compute_s=10.0, comm_s=4.0)
+        assert plain.total_s == 14.0
+
+    def test_model_overlap_flag(self):
+        wt = WallTimeModel(WallTimeConfig(throughput=1.0, bandwidth_mbps=10.0,
+                                          model_mb=100.0))
+        plain = wt.round_timing("ps", 4, 10)
+        overlapped = wt.round_timing("ps", 4, 10, overlap=True)
+        assert overlapped.total_s < plain.total_s
+        assert overlapped.total_s == max(plain.compute_s, plain.comm_s)
+
+
+class TestInt8Codec:
+    def test_roundtrip_error_bounded(self, rng):
+        state = {"w": rng.normal(size=(32, 16)).astype(np.float32)}
+        back = decode_state(encode_state(state, quantize_int8=True))
+        scale = np.abs(state["w"]).max() / 127.0
+        assert np.abs(back["w"] - state["w"]).max() <= scale * 0.51
+
+    def test_payload_shrinks(self, rng):
+        state = {"w": rng.normal(size=(64, 64)).astype(np.float32)}
+        full = encode_state(state, compress=False)
+        quantized = encode_state(state, compress=False, quantize_int8=True)
+        assert len(quantized) < len(full) / 2.5
+
+    def test_zero_tensor_roundtrip(self):
+        state = {"w": np.zeros(16, dtype=np.float32)}
+        back = decode_state(encode_state(state, quantize_int8=True))
+        np.testing.assert_array_equal(back["w"], state["w"])
+
+    def test_uncompressed_quantized_magic(self, rng):
+        state = {"w": rng.normal(size=4).astype(np.float32)}
+        payload = encode_state(state, compress=False, quantize_int8=True)
+        assert payload[:4] == b"Q8R0"
+        decode_state(payload)
+
+    def test_link_quantized_mode(self, rng):
+        link = Link(quantize_int8=True)
+        state = {"w": rng.normal(size=(16, 16)).astype(np.float32)}
+        message = link.send_state(state, "a", "b")
+        received, _ = link.recv_state(message)
+        assert np.abs(received["w"] - state["w"]).max() < 0.1
+
+
+class TestParallelAggregation:
+    def make_aggregator(self, max_workers):
+        clients = {
+            f"c{i}": LLMClient(f"c{i}", CFG, make_stream(shard=i, seed=i),
+                               OPTIM, ConstantLR(3e-3))
+            for i in range(3)
+        }
+        c4 = SyntheticC4(num_shards=4, vocab=CFG.vocab_size, seed=1)
+        val = CachedTokenStream(c4.validation(), batch_size=4, seq_len=CFG.seq_len,
+                                cache_tokens=2048, seed=99)
+        return Aggregator(CFG, clients, val_stream=val, max_workers=max_workers)
+
+    def test_parallel_matches_sequential(self):
+        seq = self.make_aggregator(max_workers=1)
+        par = self.make_aggregator(max_workers=3)
+        seq.run_round(0, 2)
+        par.run_round(0, 2)
+        np.testing.assert_allclose(
+            state_to_vector(seq.global_state),
+            state_to_vector(par.global_state), rtol=1e-5, atol=1e-6,
+        )
+
+    def test_parallel_byte_accounting_exact(self):
+        seq = self.make_aggregator(max_workers=1)
+        par = self.make_aggregator(max_workers=3)
+        r_seq = seq.run_round(0, 1)
+        r_par = par.run_round(0, 1)
+        assert r_seq.comm_bytes_down == r_par.comm_bytes_down
+        assert r_seq.comm_bytes_up == r_par.comm_bytes_up
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            self.make_aggregator(max_workers=0)
+
+
+class TestHyperopt:
+    def test_successive_halving_converges_to_one(self):
+        fed = FedConfig(population=2, clients_per_round=2, local_steps=2, rounds=4)
+        candidates = [Candidate(max_lr=3e-3), Candidate(max_lr=1e-6),
+                      Candidate(max_lr=1e-3), Candidate(max_lr=3e-7)]
+        results = successive_halving(CFG, fed, OPTIM, candidates,
+                                     initial_rounds=1)
+        assert results[0].best_perplexity <= results[-1].best_perplexity
+        # The tiny LRs cannot win against a working one.
+        assert results[0].candidate.max_lr >= 1e-3
+
+    def test_single_candidate_short_circuit(self):
+        fed = FedConfig(population=1, clients_per_round=1, local_steps=2, rounds=2)
+        results = successive_halving(CFG, fed, OPTIM, [Candidate(max_lr=3e-3)],
+                                     initial_rounds=1)
+        assert len(results) == 1
+
+    def test_validation(self):
+        fed = FedConfig(population=1, clients_per_round=1, local_steps=1, rounds=1)
+        with pytest.raises(ValueError):
+            successive_halving(CFG, fed, OPTIM, [])
+        with pytest.raises(ValueError):
+            successive_halving(CFG, fed, OPTIM,
+                               [Candidate(1e-3), Candidate(1e-3)])
+
+
+class TestRepetitionSource:
+    def test_spans_repeat(self):
+        base = make_source("c4", vocab=32)
+        rep = RepetitionSource(base, span=5, seed=0)
+        tokens = rep.sample_tokens(200, rng=np.random.default_rng(1))
+        # With repeat_prob=1 every 10-token block is span+copy.
+        blocks = tokens[: (tokens.size // 10) * 10].reshape(-1, 10)
+        matches = (blocks[:, :5] == blocks[:, 5:]).all(axis=1)
+        assert matches.mean() > 0.9
+
+    def test_length_exact(self):
+        base = make_source("c4", vocab=32)
+        rep = RepetitionSource(base, span=7, seed=0)
+        assert rep.sample_tokens(123).size == 123
+
+    def test_zero_repeat_prob_is_plain_markov(self):
+        base = make_source("c4", vocab=32)
+        rep = RepetitionSource(base, span=5, repeat_prob=0.0, seed=0)
+        tokens = rep.sample_tokens(100, rng=np.random.default_rng(1))
+        blocks = tokens[:100].reshape(-1, 10)
+        matches = (blocks[:, :5] == blocks[:, 5:]).all(axis=1)
+        assert matches.mean() < 0.5
+
+    def test_validation(self):
+        base = make_source("c4", vocab=32)
+        with pytest.raises(ValueError):
+            RepetitionSource(base, span=0)
+        with pytest.raises(ValueError):
+            RepetitionSource(base, span=4, repeat_prob=2.0)
+
+
+class TestCrossPerplexity:
+    def test_self_cross_is_optimal(self):
+        source = make_source("c4", vocab=32)
+        self_ppl = cross_perplexity(source.kernel, source.kernel)
+        assert self_ppl == pytest.approx(source.optimal_perplexity(), rel=0.02)
+
+    def test_mismatched_predictor_is_worse(self):
+        a = make_source("c4", vocab=32)
+        b = make_source("gutenberg", vocab=32)
+        mix = 0.5 * a.kernel + 0.5 * b.kernel
+        assert cross_perplexity(a.kernel, mix) > a.optimal_perplexity()
+
+    def test_stationary_distribution_valid(self):
+        kernel = make_kernel(seed=0, vocab=16, successors=4, concentration=0.5)
+        pi = stationary_distribution(kernel)
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi[:2] == 0).all()
+        # Stationarity: pi K = pi.
+        np.testing.assert_allclose(pi @ kernel, pi, atol=1e-6)
+
+
+class TestHardTasks:
+    def test_hard_bigram_examples_plausible(self):
+        from repro.eval import HardBigramTask
+
+        source = make_source("c4", vocab=32)
+        task = HardBigramTask(source, seed=0)
+        for _ in range(10):
+            ex = task.make_example()
+            row = source.kernel[int(ex.prompt[-1])]
+            assert row[ex.correct] >= row[ex.distractor] > 0
+
+    def test_markov_copy_distractor_is_bigram_plausible(self):
+        from repro.eval import MarkovCopyTask
+
+        source = make_source("c4", vocab=32)
+        task = MarkovCopyTask(source, seed=0, span=6)
+        for _ in range(10):
+            ex = task.make_example()
+            row = source.kernel[int(ex.prompt[-1])]
+            assert row[ex.distractor] > 0
+            assert ex.correct != ex.distractor
+
+    def test_markov_copy_span_validation(self):
+        from repro.eval import MarkovCopyTask
+
+        with pytest.raises(ValueError):
+            MarkovCopyTask(make_source("c4", vocab=32), span=2)
+
+
+class TestPhotonWithExtensions:
+    def test_quantized_link_still_converges(self):
+        photon = Photon(
+            CFG,
+            FedConfig(population=2, clients_per_round=2, local_steps=8, rounds=3),
+            OPTIM,
+        )
+        photon.aggregator.link = Link(quantize_int8=True)
+        history = photon.train()
+        assert history.val_perplexities[-1] < history.val_perplexities[0]

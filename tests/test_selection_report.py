@@ -1,0 +1,109 @@
+"""Topology auto-selection and run reporting."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.net import TopologyRequirements, select_topology
+from repro.utils import (
+    History,
+    RoundRecord,
+    format_markdown,
+    history_to_dict,
+    save_report,
+)
+
+
+class TestTopologySelection:
+    def test_unconstrained_picks_rar_at_scale(self):
+        """With one shared bandwidth, RAR is cheapest for large K."""
+        name, cost = select_topology(clients=16, model_mb=250.0,
+                                     bandwidth_mbps=312.0)
+        assert name == "rar"
+        assert cost > 0
+
+    def test_privacy_forces_ps(self):
+        name, _ = select_topology(
+            clients=8, model_mb=250.0, bandwidth_mbps=312.0,
+            requirements=TopologyRequirements(privacy_restricted=True),
+        )
+        assert name == "ps"
+
+    def test_dropouts_exclude_rar(self):
+        name, _ = select_topology(
+            clients=16, model_mb=250.0, bandwidth_mbps=312.0,
+            requirements=TopologyRequirements(dropouts_expected=True),
+        )
+        assert name in ("ps", "ar")
+
+    def test_per_topology_bandwidths(self):
+        """A fast PS uplink can beat RAR over a slow ring — the
+        Figure 2 trade-off."""
+        name, _ = select_topology(
+            clients=2, model_mb=250.0,
+            bandwidth_mbps={"ps": 10_000.0, "ar": 10.0, "rar": 10.0},
+        )
+        assert name == "ps"
+
+    def test_missing_bandwidth_entries_skipped(self):
+        name, _ = select_topology(clients=4, model_mb=100.0,
+                                  bandwidth_mbps={"ar": 100.0})
+        assert name == "ar"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            select_topology(0, 100.0, 100.0)
+        with pytest.raises(ValueError):
+            select_topology(4, 100.0, {},
+                            requirements=TopologyRequirements())
+
+    def test_admissible_sets(self):
+        assert TopologyRequirements(privacy_restricted=True).admissible() == ("ps",)
+        assert "rar" not in TopologyRequirements(dropouts_expected=True).admissible()
+        assert len(TopologyRequirements().admissible()) == 3
+
+
+class TestReporting:
+    def make_history(self, n=3):
+        history = History()
+        for i in range(n):
+            history.append(RoundRecord(
+                round_idx=i, val_perplexity=30.0 - 5 * i,
+                train_loss=float(np.log(30.0 - 5 * i)),
+                clients=["c0", "c1"], comm_bytes_up=1000,
+                comm_bytes_down=2000, wall_time_s=12.5,
+            ))
+        return history
+
+    def test_dict_structure(self):
+        doc = history_to_dict(self.make_history(), metadata={"model": "tiny"})
+        assert doc["metadata"]["model"] == "tiny"
+        assert doc["summary"]["rounds"] == 3
+        assert doc["summary"]["best_val_perplexity"] == 20.0
+        assert doc["summary"]["total_comm_bytes"] == 9000
+        assert len(doc["rounds"]) == 3
+        json.dumps(doc)  # must be JSON-serializable
+
+    def test_nan_perplexity_becomes_null(self):
+        history = History()
+        history.append(RoundRecord(0, float("nan"), 1.0, ["c0"]))
+        doc = history_to_dict(history)
+        assert doc["rounds"][0]["val_perplexity"] is None
+        json.dumps(doc)
+
+    def test_markdown_contains_rows(self):
+        md = format_markdown(self.make_history(), title="Demo")
+        assert md.startswith("# Demo")
+        assert sum(line.startswith("| 2 |") for line in md.splitlines()) == 1
+        assert "**20.00**" in md
+
+    def test_save_writes_json_and_md(self, tmp_path):
+        path = save_report(self.make_history(), tmp_path / "run.json",
+                           metadata={"k": 1})
+        assert path.exists()
+        assert path.with_suffix(".md").exists()
+        loaded = json.loads(path.read_text())
+        assert loaded["metadata"]["k"] == 1

@@ -1,0 +1,118 @@
+"""Server optimizer math (FedAvg / FedMom / FedAdam / Nesterov)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fed import FedAdam, FedAvg, FedMom, NesterovOuter, make_server_opt
+
+
+def state(*values) -> dict:
+    return {"w": np.asarray(values, dtype=np.float32)}
+
+
+class TestFedAvg:
+    def test_lr_one_is_parameter_averaging(self):
+        """FedAvg with lr=1 recovers the mean of client models:
+        θ − mean(θ − θ_k) = mean(θ_k)."""
+        global_state = state(1.0, 2.0)
+        client_states = [state(0.0, 1.0), state(2.0, 5.0)]
+        deltas = [{"w": global_state["w"] - c["w"]} for c in client_states]
+        mean_delta = {"w": np.mean([d["w"] for d in deltas], axis=0)}
+        out = FedAvg(lr=1.0).step(global_state, mean_delta)
+        np.testing.assert_allclose(out["w"], [1.0, 3.0])
+
+    def test_partial_lr_interpolates(self):
+        out = FedAvg(lr=0.5).step(state(1.0), state(1.0))
+        np.testing.assert_allclose(out["w"], [0.5])
+
+    def test_zero_delta_is_identity(self):
+        out = FedAvg().step(state(3.0), state(0.0))
+        np.testing.assert_allclose(out["w"], [3.0])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            FedAvg(lr=0.0)
+
+
+class TestFedMom:
+    def test_momentum_accumulates_across_rounds(self):
+        opt = FedMom(lr=1.0, momentum=0.5)
+        s = state(0.0)
+        s = opt.step(s, state(1.0))  # v=1, move 1
+        np.testing.assert_allclose(s["w"], [-1.0])
+        s = opt.step(s, state(1.0))  # v=1.5, move 1.5
+        np.testing.assert_allclose(s["w"], [-2.5])
+
+    def test_reset_clears_velocity(self):
+        opt = FedMom(lr=1.0, momentum=0.9)
+        opt.step(state(0.0), state(1.0))
+        opt.reset()
+        out = opt.step(state(0.0), state(1.0))
+        np.testing.assert_allclose(out["w"], [-1.0])
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            FedMom(momentum=1.0)
+
+
+class TestFedAdam:
+    def test_first_step_magnitude(self):
+        opt = FedAdam(lr=0.1)
+        out = opt.step(state(0.0), state(1.0))
+        # Bias-corrected Adam first step ≈ lr * sign(grad).
+        np.testing.assert_allclose(out["w"], [-0.1], rtol=1e-4)
+
+    def test_adaptive_scaling(self):
+        """Large and small coordinates move by similar magnitudes."""
+        opt = FedAdam(lr=0.1)
+        out = opt.step({"w": np.zeros(2, dtype=np.float32)},
+                       {"w": np.array([100.0, 0.01], dtype=np.float32)})
+        assert abs(out["w"][0]) == pytest.approx(abs(out["w"][1]), rel=0.01)
+
+    def test_reset(self):
+        opt = FedAdam(lr=0.1)
+        opt.step(state(0.0), state(1.0))
+        opt.reset()
+        assert opt._t == 0
+
+
+class TestNesterovOuter:
+    def test_matches_manual_recursion(self):
+        opt = NesterovOuter(lr=0.1, momentum=0.9)
+        s = state(0.0)
+        v = 0.0
+        expected = 0.0
+        for _ in range(3):
+            delta = 1.0
+            v = 0.9 * v + delta
+            expected -= 0.1 * (delta + 0.9 * v)
+            s = opt.step(s, state(1.0))
+        np.testing.assert_allclose(s["w"], [expected], rtol=1e-5)
+
+    def test_momentum_bounds(self):
+        with pytest.raises(ValueError):
+            NesterovOuter(momentum=0.0)
+        with pytest.raises(ValueError):
+            NesterovOuter(momentum=1.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("fedavg", FedAvg),
+        ("fedmom", FedMom),
+        ("fedavgm", FedMom),
+        ("fedadam", FedAdam),
+        ("nesterov", NesterovOuter),
+        ("diloco", NesterovOuter),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_server_opt(name, lr=0.5, momentum=0.9), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_server_opt("sgdr")
+
+    def test_lr_passthrough(self):
+        assert make_server_opt("fedavg", lr=0.25).lr == 0.25
