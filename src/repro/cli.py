@@ -51,6 +51,19 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--server-opt", default="fedavg",
                        choices=["fedavg", "fedmom", "fedadam"])
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--mode", choices=["sync", "async"], default="sync",
+                       help="round engine: Algorithm-1 barrier or buffered async")
+    train.add_argument("--buffer-size", type=int, default=None,
+                       help="async: updates per server step (default: cohort size)")
+    train.add_argument("--staleness-alpha", type=float, default=None,
+                       help="async: stale deltas weighted 1/(1+s)^alpha "
+                            "(default 0.5)")
+    train.add_argument("--straggler-spread", type=float, default=1.0,
+                       help="per-client slowdown spread for the simulated clock "
+                            "(> 1 auto-enables --walltime; 1 = equipollent)")
+    train.add_argument("--walltime", action="store_true",
+                       help="attach the Appendix B.1 wall-time model "
+                            "(125M-preset bandwidth/throughput)")
 
     diloco = sub.add_parser("diloco", help="run the DiLoCo baseline")
     diloco.add_argument("--model", default="tiny")
@@ -83,26 +96,41 @@ def _warmup_for(total_steps: int) -> int:
 
 def _cmd_train(args) -> int:
     from .fed import Photon
+    from .net import gbps_to_mbps
 
     model = model_config(args.model)
     sampled = args.sampled or args.clients
     fed = FedConfig(population=args.clients, clients_per_round=sampled,
                     local_steps=args.local_steps, rounds=args.rounds,
-                    server_opt=args.server_opt, seed=args.seed)
+                    server_opt=args.server_opt, seed=args.seed,
+                    mode=args.mode, buffer_size=args.buffer_size,
+                    staleness_alpha=args.staleness_alpha)
     optim = OptimConfig(max_lr=args.max_lr,
                         warmup_steps=_warmup_for(fed.total_client_steps),
                         schedule_steps=fed.total_client_steps,
                         batch_size=args.batch_size, weight_decay=0.0)
+    walltime_config = None
+    if args.walltime or args.straggler_spread > 1.0:
+        nu = PAPER_THROUGHPUTS.get(args.model, {}).get("federated", 2.0)
+        walltime_config = WallTimeConfig(
+            throughput=nu, bandwidth_mbps=gbps_to_mbps(2.5),
+            model_mb=model.param_bytes / 2**20,
+        )
     photon = Photon(model, fed, optim, corpus=args.corpus,
-                    heterogeneity=args.heterogeneity)
+                    heterogeneity=args.heterogeneity,
+                    walltime_config=walltime_config,
+                    client_speed_spread=args.straggler_spread)
     history = photon.train()
     print("round  val_ppl  train_ppl")
     for record in history:
         print(f"{record.round_idx:>5}  {record.val_perplexity:>7.2f}  "
               f"{record.train_perplexity:>9.2f}")
     result = photon.result()
+    print(f"engine          : {fed.mode}")
     print(f"best perplexity : {result.best_perplexity:.2f}")
     print(f"comm bytes      : {result.total_comm_bytes:,}")
+    if walltime_config is not None:
+        print(f"simulated wall  : {result.simulated_wall_time_s:,.1f} s")
     return 0
 
 

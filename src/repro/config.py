@@ -111,7 +111,17 @@ class OptimConfig:
 
 @dataclass(frozen=True)
 class FedConfig:
-    """Federated run configuration (paper Table 6 schema)."""
+    """Federated run configuration (paper Table 6 schema).
+
+    ``mode`` selects the round engine: ``"sync"`` is the paper's
+    Algorithm 1 barrier, ``"async"`` the FedBuff-style buffered engine
+    (:class:`~repro.fed.engine.AsyncAggregator`).  In async mode the
+    server applies ``ServerOpt`` once ``buffer_size`` client deltas
+    have arrived (default: the round cohort size) and down-weights a
+    delta that is ``s`` server versions stale by
+    ``1 / (1 + s)**staleness_alpha`` (default 0.5 when unset).  Both
+    knobs are async-only and rejected under ``mode="sync"``.
+    """
 
     population: int = 8
     clients_per_round: int = 8
@@ -122,12 +132,27 @@ class FedConfig:
     server_opt: str = "fedavg"
     stateless_clients: bool = True
     seed: int = 0
+    mode: str = "sync"
+    buffer_size: int | None = None
+    staleness_alpha: float | None = None
 
     def __post_init__(self) -> None:
         if self.clients_per_round > self.population:
             raise ValueError(
                 f"clients_per_round={self.clients_per_round} exceeds "
                 f"population={self.population}"
+            )
+        if self.mode not in ("sync", "async"):
+            raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
+        if self.buffer_size is not None and self.mode != "async":
+            raise ValueError("buffer_size only applies to mode='async'")
+        if self.buffer_size is not None and self.buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {self.buffer_size}")
+        if self.staleness_alpha is not None and self.mode != "async":
+            raise ValueError("staleness_alpha only applies to mode='async'")
+        if self.staleness_alpha is not None and self.staleness_alpha < 0:
+            raise ValueError(
+                f"staleness_alpha must be non-negative, got {self.staleness_alpha}"
             )
 
     @property

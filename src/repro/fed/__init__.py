@@ -1,6 +1,7 @@
 """Federated core: Photon, its components, and the baselines."""
 
 from .aggregator import Aggregator
+from .engine import AsyncAggregator, PolynomialStaleness, RoundEngine, SyncAggregator
 from .centralized import CentralizedResult, CentralizedTrainer
 from .checkpoint import CheckpointManager
 from .client import LLMClient
@@ -40,6 +41,10 @@ __all__ = [
     "Photon",
     "PhotonResult",
     "Aggregator",
+    "RoundEngine",
+    "SyncAggregator",
+    "AsyncAggregator",
+    "PolynomialStaleness",
     "LLMClient",
     "ClientUpdate",
     "RoundInfo",

@@ -6,34 +6,23 @@ through the Link, collects pseudo-gradients, averages them, applies
 a validation stream and, when configured with a
 :class:`~repro.net.walltime.WallTimeModel`, accrues the simulated wall
 clock the paper's system tables are built on.
+
+The execution strategy itself lives in :mod:`repro.fed.engine`:
+:class:`~repro.fed.engine.SyncAggregator` is the paper's synchronous
+barrier, :class:`~repro.fed.engine.AsyncAggregator` the buffered
+asynchronous alternative.  ``Aggregator`` remains the synchronous
+engine under its historical name.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from .engine import AsyncAggregator, RoundEngine, SyncAggregator
 
-import numpy as np
-
-from ..config import ModelConfig
-from ..data.stream import BatchStream
-from ..eval.perplexity import evaluate_perplexity
-from ..net.walltime import WallTimeModel
-from ..nn import DecoderLM
-from ..utils.metrics import History, RoundRecord, aggregate_metrics
-from ..utils.serialization import StateDict, tree_mean, tree_norm
-from .checkpoint import CheckpointManager
-from .client import LLMClient
-from .faults import ClientFailure, FailureModel, FaultPolicy
-from .link import Link
-from .sampler import AvailabilityModel, ClientSampler, FullParticipation
-from .server_opt import FedAvg, ServerOpt
-from .types import RoundInfo
-
-__all__ = ["Aggregator"]
+__all__ = ["Aggregator", "SyncAggregator", "AsyncAggregator", "RoundEngine"]
 
 
-class Aggregator:
-    """Central server of the federation.
+class Aggregator(SyncAggregator):
+    """Central server of the federation (synchronous engine).
 
     Parameters
     ----------
@@ -55,203 +44,3 @@ class Aggregator:
         Weight client updates by token counts instead of the paper's
         uniform mean.
     """
-
-    def __init__(self, model_config: ModelConfig, clients: dict[str, LLMClient],
-                 server_opt: ServerOpt | None = None,
-                 sampler: ClientSampler | None = None,
-                 val_stream: BatchStream | None = None,
-                 link: Link | None = None,
-                 availability: AvailabilityModel | None = None,
-                 checkpointer: CheckpointManager | None = None,
-                 walltime: WallTimeModel | None = None,
-                 comm_topology: str = "rar",
-                 eval_batches: int = 4,
-                 weighted: bool = False,
-                 max_workers: int = 1,
-                 failure_model: FailureModel | None = None,
-                 fault_policy: FaultPolicy | None = None,
-                 merge_fn=None,
-                 initial_state: StateDict | None = None,
-                 init_seed: int = 0):
-        if not clients:
-            raise ValueError("the federation needs at least one client")
-        self.model_config = model_config
-        self.clients = dict(clients)
-        self.server_opt = server_opt or FedAvg(lr=1.0)
-        self.sampler = sampler or FullParticipation()
-        self.val_stream = val_stream
-        self.link = link or Link()
-        self.availability = availability
-        self.checkpointer = checkpointer
-        self.walltime = walltime
-        self.comm_topology = comm_topology
-        self.eval_batches = eval_batches
-        self.weighted = weighted
-        if max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
-        # Clients are independent within a round (Algorithm 1 L.5 "in
-        # parallel"), so they can run on a thread pool; NumPy's BLAS
-        # kernels release the GIL.  Results are deterministic either
-        # way because each client's RNG stream is its own.
-        self.max_workers = max_workers
-        self.failure_model = failure_model
-        self.fault_policy = fault_policy or FaultPolicy.for_topology(comm_topology)
-        # Custom delta merging (e.g. TIES for heterogeneous clients,
-        # Section 6); None means the paper's uniform/weighted mean.
-        self.merge_fn = merge_fn
-
-        # Algorithm 1 L.2: initialize fresh, or warm-start from a
-        # provided state (continual pre-training, Section 6).
-        if initial_state is not None:
-            template = DecoderLM(model_config, seed=init_seed).state_dict()
-            if template.keys() != initial_state.keys():
-                raise KeyError("initial_state keys do not match the model")
-            self.global_state = {
-                k: np.asarray(v, dtype=np.float32).copy()
-                for k, v in initial_state.items()
-            }
-        else:
-            self.global_state = DecoderLM(model_config, seed=init_seed).state_dict()
-        # Evaluation workspace reused across rounds.
-        self._eval_model = DecoderLM(model_config, seed=init_seed)
-        self.history = History()
-        self.total_steps_done = 0
-        self.simulated_wall_time_s = 0.0
-
-    # ------------------------------------------------------------------
-    def evaluate(self) -> float:
-        """Validation perplexity of the current global model."""
-        if self.val_stream is None:
-            return float("nan")
-        self._eval_model.load_state_dict(self.global_state)
-        return evaluate_perplexity(self._eval_model, self.val_stream, self.eval_batches)
-
-    # ------------------------------------------------------------------
-    def run_round(self, round_idx: int, local_steps: int) -> RoundRecord:
-        """Execute one federated round (Algorithm 1 L.3–11)."""
-        population = sorted(self.clients)
-        if self.availability is not None:
-            population = self.availability.available(population, round_idx)
-        selected = self.sampler.sample(population, round_idx)
-
-        bytes_up_before = self.link.bytes_received
-        bytes_down_before = self.link.bytes_sent
-
-        round_info = RoundInfo(
-            round_idx=round_idx,
-            local_steps=local_steps,
-            global_step_base=self.total_steps_done,
-        )
-        def run_client(client_id: str):
-            if (self.failure_model is not None
-                    and self.failure_model.should_fail(client_id, round_idx)):
-                raise ClientFailure(client_id, round_idx)
-            # Broadcast global parameters (L.5–6) ...
-            message = self.link.send_state(
-                self.global_state, sender="agg", receiver=client_id,
-                metadata={"round": round_idx, "local_steps": local_steps},
-            )
-            state, _ = self.link.recv_state(message)
-            update = self.clients[client_id].train(state, round_info)
-            # ... and collect the pseudo-gradient (L.7).
-            reply = self.link.send_state(
-                update.delta, sender=client_id, receiver="agg",
-                metadata=update.metrics,
-            )
-            delta, _ = self.link.recv_state(reply)
-            update.delta = delta
-            return update
-
-        def run_cohort(cohort: list[str]):
-            """Run every client, separating survivors from failures."""
-            survivors, failed = [], []
-
-            def guarded(client_id: str):
-                try:
-                    return run_client(client_id)
-                except ClientFailure:
-                    return ClientFailure(client_id, round_idx)
-
-            if self.max_workers > 1 and len(cohort) > 1:
-                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                    outcomes = list(pool.map(guarded, cohort))
-            else:
-                outcomes = [guarded(cid) for cid in cohort]
-            for outcome in outcomes:
-                if isinstance(outcome, ClientFailure):
-                    failed.append(outcome.client_id)
-                else:
-                    survivors.append(outcome)
-            return survivors, failed
-
-        # Execute with the configured fault policy (Section 4: PS/AR
-        # aggregate partial updates; RAR must redo the round).
-        retries = 0
-        updates, failed = run_cohort(selected)
-        while failed:
-            if self.fault_policy.mode == "strict":
-                raise ClientFailure(failed[0], round_idx)
-            needs_retry = (
-                self.fault_policy.mode == "retry_round"
-                or len(updates) < self.fault_policy.min_survivors
-            )
-            if not needs_retry:
-                break
-            if retries >= self.fault_policy.max_retries:
-                if updates and self.fault_policy.mode != "retry_round":
-                    break
-                raise ClientFailure(failed[0], round_idx)
-            retries += 1
-            updates, failed = run_cohort(selected)
-
-        # Aggregate (L.8): uniform mean by default, or a custom merge
-        # (e.g. TIES) when configured.
-        weights = [float(u.num_tokens) for u in updates] if self.weighted else None
-        deltas = [u.delta for u in updates]
-        if self.merge_fn is not None:
-            pseudo_grad = self.merge_fn(deltas, weights)
-        else:
-            pseudo_grad = tree_mean(deltas, weights)
-        self.global_state = self.server_opt.step(self.global_state, pseudo_grad)
-        self.total_steps_done += local_steps
-
-        if self.checkpointer is not None:
-            self.checkpointer.save(round_idx, self.global_state,
-                                   metadata={"clients": selected})
-
-        record = RoundRecord(
-            round_idx=round_idx,
-            val_perplexity=self.evaluate(),
-            train_loss=float(np.mean([u.metrics["train_loss_mean"] for u in updates])),
-            clients=[u.client_id for u in updates],
-            comm_bytes_up=self.link.bytes_received - bytes_up_before,
-            comm_bytes_down=self.link.bytes_sent - bytes_down_before,
-            pseudo_grad_norm=tree_norm(pseudo_grad),
-            client_metrics=aggregate_metrics([u.metrics for u in updates]),
-            failed_clients=sorted(set(selected) - {u.client_id for u in updates}),
-            retries=retries,
-        )
-        if self.walltime is not None:
-            timing = self.walltime.round_timing(
-                self.comm_topology, len(selected), local_steps
-            )
-            # Redone rounds (RAR dropout semantics) cost full wall time
-            # per attempt.
-            record.wall_time_s = timing.total_s * (1 + retries)
-            self.simulated_wall_time_s += record.wall_time_s
-        self.history.append(record)
-        return record
-
-    # ------------------------------------------------------------------
-    def run(self, rounds: int, local_steps: int,
-            target_perplexity: float | None = None) -> History:
-        """Run ``rounds`` federated rounds; optionally stop early once
-        the validation perplexity reaches ``target_perplexity``."""
-        if rounds < 1:
-            raise ValueError("rounds must be >= 1")
-        for t in range(rounds):
-            record = self.run_round(t, local_steps)
-            if (target_perplexity is not None
-                    and record.val_perplexity <= target_perplexity):
-                break
-        return self.history

@@ -1,0 +1,627 @@
+"""Round engines: how the federation executes rounds.
+
+The paper's Algorithm 1 is a synchronous barrier: every round samples a
+cohort, waits for *all* survivors and applies ``ServerOpt`` once.  That
+barrier is exactly what the wall-time tables identify as the system
+bottleneck — one straggler paces the whole cohort.  This module splits
+the orchestration loop of :class:`~repro.fed.aggregator.Aggregator`
+into a reusable :class:`RoundEngine` base with two implementations:
+
+* :class:`SyncAggregator` — the original barrier semantics (Algorithm
+  1 L.3–11), unchanged;
+* :class:`AsyncAggregator` — a FedBuff-style buffered asynchronous
+  engine: clients train continuously against whatever global version
+  they last pulled, the server aggregates as soon as ``buffer_size``
+  updates arrive, and stale deltas are down-weighted by a staleness
+  function (default ``1 / (1 + s)^alpha``).
+
+The async engine is event-driven: a priority queue orders simulated
+client-completion events, with per-client durations supplied by a
+:class:`~repro.net.walltime.WallTimeModel` (optionally heterogeneous —
+stragglers, slow links).  All completions sharing a timestamp are
+processed before any new work is issued at that instant, so with
+equipollent clients, ``buffer_size == cohort`` and no staleness
+penalty the async engine reproduces the synchronous trace exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..data.stream import BatchStream
+from ..eval.perplexity import evaluate_perplexity
+from ..net.walltime import WallTimeModel
+from ..nn import DecoderLM
+from ..utils.metrics import History, RoundRecord, aggregate_metrics
+from ..utils.serialization import StateDict, tree_mean, tree_norm
+from .checkpoint import CheckpointManager
+from .client import LLMClient
+from .faults import ClientFailure, FailureModel, FaultPolicy
+from .link import Link, Message
+from .sampler import AvailabilityModel, ClientSampler, FullParticipation
+from .server_opt import FedAvg, ServerOpt
+from .types import ClientUpdate, RoundInfo
+
+__all__ = [
+    "RoundEngine",
+    "SyncAggregator",
+    "AsyncAggregator",
+    "PolynomialStaleness",
+]
+
+
+class PolynomialStaleness:
+    """``w(s) = 1 / (1 + s)^alpha`` — FedBuff/FedAsync-style polynomial
+    staleness discount.  ``alpha = 0`` weights every delta equally."""
+
+    def __init__(self, alpha: float = 0.5):
+        if alpha < 0:
+            raise ValueError(f"staleness alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+
+    def __call__(self, staleness: int) -> float:
+        if staleness < 0:
+            raise ValueError(f"staleness must be non-negative, got {staleness}")
+        if self.alpha == 0.0:
+            return 1.0
+        return float(1.0 / (1.0 + staleness) ** self.alpha)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PolynomialStaleness(alpha={self.alpha})"
+
+
+class RoundEngine:
+    """Shared server state and client plumbing for round engines.
+
+    Owns the global model state, evaluation workspace, Link, sampler,
+    fault machinery and run history; subclasses decide *when* client
+    updates are folded into the global model by implementing
+    :meth:`run_round`.
+
+    Parameters mirror the original ``Aggregator`` — see
+    :class:`~repro.fed.aggregator.Aggregator` for their meaning.
+    """
+
+    def __init__(self, model_config: ModelConfig, clients: dict[str, LLMClient],
+                 server_opt: ServerOpt | None = None,
+                 sampler: ClientSampler | None = None,
+                 val_stream: BatchStream | None = None,
+                 link: Link | None = None,
+                 availability: AvailabilityModel | None = None,
+                 checkpointer: CheckpointManager | None = None,
+                 walltime: WallTimeModel | None = None,
+                 comm_topology: str = "rar",
+                 eval_batches: int = 4,
+                 weighted: bool = False,
+                 max_workers: int = 1,
+                 failure_model: FailureModel | None = None,
+                 fault_policy: FaultPolicy | None = None,
+                 merge_fn=None,
+                 initial_state: StateDict | None = None,
+                 init_seed: int = 0):
+        if not clients:
+            raise ValueError("the federation needs at least one client")
+        self.model_config = model_config
+        self.clients = dict(clients)
+        self.server_opt = server_opt or FedAvg(lr=1.0)
+        self.sampler = sampler or FullParticipation()
+        self.val_stream = val_stream
+        self.link = link or Link()
+        self.availability = availability
+        self.checkpointer = checkpointer
+        self.walltime = walltime
+        self.comm_topology = comm_topology
+        self.eval_batches = eval_batches
+        self.weighted = weighted
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        # Clients are independent within a round (Algorithm 1 L.5 "in
+        # parallel"), so they can run on a thread pool; NumPy's BLAS
+        # kernels release the GIL.  Results are deterministic either
+        # way because each client's RNG stream is its own.
+        self.max_workers = max_workers
+        self.failure_model = failure_model
+        self.fault_policy = fault_policy or FaultPolicy.for_topology(comm_topology)
+        # Custom delta merging (e.g. TIES for heterogeneous clients,
+        # Section 6); None means the paper's uniform/weighted mean.
+        self.merge_fn = merge_fn
+
+        # Algorithm 1 L.2: initialize fresh, or warm-start from a
+        # provided state (continual pre-training, Section 6).
+        if initial_state is not None:
+            template = DecoderLM(model_config, seed=init_seed).state_dict()
+            if template.keys() != initial_state.keys():
+                raise KeyError("initial_state keys do not match the model")
+            self.global_state = {
+                k: np.asarray(v, dtype=np.float32).copy()
+                for k, v in initial_state.items()
+            }
+        else:
+            self.global_state = DecoderLM(model_config, seed=init_seed).state_dict()
+        # Evaluation workspace reused across rounds.
+        self._eval_model = DecoderLM(model_config, seed=init_seed)
+        self.history = History()
+        self.total_steps_done = 0
+        self.simulated_wall_time_s = 0.0
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> float:
+        """Validation perplexity of the current global model."""
+        if self.val_stream is None:
+            return float("nan")
+        self._eval_model.load_state_dict(self.global_state)
+        return evaluate_perplexity(self._eval_model, self.val_stream, self.eval_batches)
+
+    # ------------------------------------------------------------------
+    def _merge(self, updates: list[ClientUpdate],
+               deltas: list[StateDict] | None = None) -> StateDict:
+        """Combine client deltas into the round pseudo-gradient (L.8):
+        uniform/token-weighted mean, or the custom ``merge_fn``.
+        ``deltas`` overrides the updates' own deltas (the async engine
+        passes staleness-scaled copies)."""
+        if deltas is None:
+            deltas = [u.delta for u in updates]
+        weights = [float(u.num_tokens) for u in updates] if self.weighted else None
+        if self.merge_fn is not None:
+            return self.merge_fn(deltas, weights)
+        return tree_mean(deltas, weights)
+
+    # ------------------------------------------------------------------
+    def _collect_update(self, client_id: str, message: Message,
+                        round_info: RoundInfo) -> ClientUpdate:
+        """The client half of the exchange both engines share: decode
+        the broadcast, run local training, move the delta back over
+        the Link (L.6–7)."""
+        state, _ = self.link.recv_state(message)
+        update = self.clients[client_id].train(state, round_info)
+        reply = self.link.send_state(
+            update.delta, sender=client_id, receiver="agg",
+            metadata=update.metrics,
+        )
+        delta, _ = self.link.recv_state(reply)
+        update.delta = delta
+        return update
+
+    def run_round(self, round_idx: int, local_steps: int) -> RoundRecord:
+        """Advance the federation by one server update."""
+        raise NotImplementedError
+
+    def run(self, rounds: int, local_steps: int,
+            target_perplexity: float | None = None) -> History:
+        """Run ``rounds`` federated rounds; optionally stop early once
+        the validation perplexity reaches ``target_perplexity``."""
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        for t in range(rounds):
+            record = self.run_round(t, local_steps)
+            if (target_perplexity is not None
+                    and record.val_perplexity <= target_perplexity):
+                break
+        return self.history
+
+
+class SyncAggregator(RoundEngine):
+    """Synchronous barrier engine — Algorithm 1 exactly as published.
+
+    Per round: sample a cohort, broadcast the global model, wait for
+    *every* survivor, average, apply ``ServerOpt``.  Fault handling
+    follows :class:`~repro.fed.faults.FaultPolicy` (PS/AR aggregate
+    partial updates; RAR redoes the round).
+    """
+
+    # ------------------------------------------------------------------
+    def run_round(self, round_idx: int, local_steps: int) -> RoundRecord:
+        """Execute one federated round (Algorithm 1 L.3–11)."""
+        population = sorted(self.clients)
+        if self.availability is not None:
+            population = self.availability.available(population, round_idx)
+        selected = self.sampler.sample(population, round_idx)
+
+        bytes_up_before = self.link.bytes_received
+        bytes_down_before = self.link.bytes_sent
+
+        round_info = RoundInfo(
+            round_idx=round_idx,
+            local_steps=local_steps,
+            global_step_base=self.total_steps_done,
+        )
+        def run_client(client_id: str):
+            # Broadcast global parameters (L.5–6), then run the shared
+            # train-and-upload exchange (L.7).
+            message = self.link.send_state(
+                self.global_state, sender="agg", receiver=client_id,
+                metadata={"round": round_idx, "local_steps": local_steps},
+            )
+            return self._collect_update(client_id, message, round_info)
+
+        def run_cohort(cohort: list[str]):
+            """Run every client, separating survivors from failures."""
+            survivors, failed = [], []
+            # Failure draws happen serially, in cohort order, so the
+            # FailureModel's RNG stream is consumed identically for
+            # any max_workers (np.random.Generator is not thread-safe).
+            doomed = {
+                cid for cid in cohort
+                if self.failure_model is not None
+                and self.failure_model.should_fail(cid, round_idx)
+            }
+
+            def guarded(client_id: str):
+                if client_id in doomed:
+                    return ClientFailure(client_id, round_idx)
+                return run_client(client_id)
+
+            if self.max_workers > 1 and len(cohort) > 1:
+                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                    outcomes = list(pool.map(guarded, cohort))
+            else:
+                outcomes = [guarded(cid) for cid in cohort]
+            for outcome in outcomes:
+                if isinstance(outcome, ClientFailure):
+                    failed.append(outcome.client_id)
+                else:
+                    survivors.append(outcome)
+            return survivors, failed
+
+        # Execute with the configured fault policy (Section 4: PS/AR
+        # aggregate partial updates; RAR must redo the round).
+        retries = 0
+        updates, failed = run_cohort(selected)
+        while failed:
+            if self.fault_policy.mode == "strict":
+                raise ClientFailure(failed[0], round_idx)
+            needs_retry = (
+                self.fault_policy.mode == "retry_round"
+                or len(updates) < self.fault_policy.min_survivors
+            )
+            if not needs_retry:
+                break
+            if retries >= self.fault_policy.max_retries:
+                if updates and self.fault_policy.mode != "retry_round":
+                    break
+                raise ClientFailure(failed[0], round_idx)
+            retries += 1
+            updates, failed = run_cohort(selected)
+
+        # Aggregate (L.8): uniform mean by default, or a custom merge
+        # (e.g. TIES) when configured.
+        pseudo_grad = self._merge(updates)
+        self.global_state = self.server_opt.step(self.global_state, pseudo_grad)
+        self.total_steps_done += local_steps
+
+        if self.checkpointer is not None:
+            self.checkpointer.save(round_idx, self.global_state,
+                                   metadata={"clients": selected})
+
+        record = RoundRecord(
+            round_idx=round_idx,
+            val_perplexity=self.evaluate(),
+            train_loss=float(np.mean([u.metrics["train_loss_mean"] for u in updates])),
+            clients=[u.client_id for u in updates],
+            comm_bytes_up=self.link.bytes_received - bytes_up_before,
+            comm_bytes_down=self.link.bytes_sent - bytes_down_before,
+            pseudo_grad_norm=tree_norm(pseudo_grad),
+            client_metrics=aggregate_metrics([u.metrics for u in updates]),
+            failed_clients=sorted(set(selected) - {u.client_id for u in updates}),
+            retries=retries,
+        )
+        if self.walltime is not None:
+            # Timed over everyone *asked* to train: failed clients
+            # consumed barrier time before dropping out.
+            timing = self.walltime.cohort_timing(
+                self.comm_topology, selected, local_steps,
+            )
+            # Redone rounds (RAR dropout semantics) cost full wall time
+            # per attempt.
+            record.wall_time_s = timing.total_s * (1 + retries)
+            self.simulated_wall_time_s += record.wall_time_s
+        self.history.append(record)
+        return record
+
+
+class AsyncAggregator(RoundEngine):
+    """Buffered asynchronous engine (FedBuff-style).
+
+    Clients pull the current global model, train ``local_steps`` and
+    push their delta; the server folds deltas into a buffer and applies
+    ``ServerOpt`` to the staleness-weighted mean once ``buffer_size``
+    updates have arrived — one "round" of the run history per flush.
+    Finished clients immediately pull the *current* global model and
+    keep training, so nobody ever waits on a barrier; a slow client
+    simply contributes staler (down-weighted) deltas less often.
+
+    Parameters (beyond :class:`RoundEngine`)
+    ----------
+    buffer_size:
+        Updates per server step; defaults to the initial cohort size.
+    staleness_fn:
+        Maps an integer staleness (server versions elapsed between a
+        client's pull and its delta's aggregation) to a weight;
+        default :class:`PolynomialStaleness`.
+    staleness_alpha:
+        Convenience for the default staleness function's exponent.
+    concurrency:
+        Number of clients training at any moment; defaults to the
+        cohort the sampler picks at round 0.  The population beyond
+        the concurrency limit is cycled round-robin, so every client
+        eventually participates.
+
+    The simulated clock comes from the engine's ``walltime`` model via
+    :meth:`~repro.net.walltime.WallTimeModel.client_timing` (per-client
+    compute/link heterogeneity); without a wall-time model every client
+    takes one simulated time unit, so completions tie — the buffer is
+    still honored (arrivals are drained one at a time, flushing
+    whenever it fills), the staleness pattern just becomes periodic.
+    """
+
+    def __init__(self, *args, buffer_size: int | None = None,
+                 staleness_fn=None, staleness_alpha: float = 0.5,
+                 concurrency: int | None = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        if buffer_size is not None and buffer_size < 1:
+            raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+        if concurrency is not None and concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.buffer_size = buffer_size
+        self.concurrency = concurrency
+        self.staleness_fn = staleness_fn or PolynomialStaleness(staleness_alpha)
+
+        self.version = 0  # server updates applied so far
+        self.clock_s = 0.0  # simulated wall clock
+        self._events: list[tuple[float, int, str]] = []  # (time, seq, client)
+        self._seq = 0
+        self._inflight: dict[str, tuple[Message, int]] = {}
+        self._buffer: list[tuple[int, ClientUpdate]] = []  # (pull version, update)
+        self._idle: deque[str] = deque()
+        # Trained completions awaiting server processing: the server
+        # drains at most one flush worth per run_round, so a tied batch
+        # can leave arrivals queued here for the next call.
+        self._arrivals: deque[tuple[str, object]] = deque()
+        self._failed_pending: list[str] = []
+        self._local_steps: int | None = None
+        self._last_flush_clock = 0.0
+        self._bytes_up_mark = 0
+        self._bytes_down_mark = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Dispatch / completion machinery
+    # ------------------------------------------------------------------
+    def _client_duration_s(self, client_id: str, local_steps: int) -> float:
+        if self.walltime is None:
+            return 1.0
+        return self.walltime.client_timing(client_id, local_steps).total_s
+
+    def _dispatch(self, client_id: str) -> None:
+        """Send the current global model to ``client_id`` and schedule
+        its completion event."""
+        message = self.link.send_state(
+            self.global_state, sender="agg", receiver=client_id,
+            metadata={"version": self.version, "local_steps": self._local_steps},
+        )
+        self._inflight[client_id] = (message, self.version)
+        duration = self._client_duration_s(client_id, self._local_steps)
+        heapq.heappush(self._events, (self.clock_s + duration, self._seq, client_id))
+        self._seq += 1
+
+    def _refill(self, slots: int) -> None:
+        """Issue up to ``slots`` dispatches from the idle queue.
+
+        Sporadically-unavailable clients (uptime < 1) are *deferred*:
+        they stay idle and get a fresh availability draw at the next
+        completion event, temporarily shrinking the effective
+        concurrency — the async analogue of the sync engine dropping
+        them from a round.  The availability draw covers the whole
+        idle pool at once (AvailabilityModel never returns an empty
+        set, so per-client queries would always come back reachable).
+        At least one event is always kept in flight so the federation
+        cannot stall.
+        """
+        if self._idle and slots > 0:
+            if self.availability is not None:
+                reachable = set(
+                    self.availability.available(list(self._idle), self.version)
+                )
+            else:
+                reachable = set(self._idle)
+            for _ in range(len(self._idle)):
+                if slots == 0:
+                    break
+                client_id = self._idle.popleft()
+                if client_id in reachable:
+                    self._dispatch(client_id)
+                    slots -= 1
+                else:
+                    self._idle.append(client_id)
+        if not self._events and self._idle:
+            # Nobody reachable and nothing in flight: keep one client
+            # training (mirrors AvailabilityModel's floor).
+            self._dispatch(self._idle.popleft())
+
+    def _ensure_started(self, local_steps: int) -> None:
+        if self._started:
+            if local_steps != self._local_steps:
+                raise ValueError(
+                    "the async engine cannot change local_steps mid-run "
+                    f"({self._local_steps} -> {local_steps})"
+                )
+            return
+        self._local_steps = local_steps
+        # Byte-accounting marks: every byte the Link moves between two
+        # flushes (including the dispatches that seeded the buffer) is
+        # attributed to the flush that closes the window.  Only work
+        # still in flight when the run ends goes unattributed.
+        self._bytes_up_mark = self.link.bytes_received
+        self._bytes_down_mark = self.link.bytes_sent
+        population = sorted(self.clients)
+        selected = self.sampler.sample(population, 0)
+        if self.buffer_size is None:
+            self.buffer_size = len(selected)
+        if self.concurrency is None:
+            self.concurrency = len(selected)
+        # Sampled cohort trains first; the rest of the population joins
+        # the round-robin idle queue behind it.
+        self._idle = deque(selected + [c for c in population if c not in selected])
+        self._refill(min(self.concurrency, len(self._idle)))
+        self._started = True
+
+    # ------------------------------------------------------------------
+    def _pop_batch(self) -> list[str]:
+        """Pop every completion event sharing the earliest timestamp.
+
+        Arrivals at one instant are all processed before any new work
+        is issued at that instant — with equipollent clients this makes
+        ``buffer_size == cohort`` reproduce the synchronous barrier.
+        """
+        t, _, client_id = heapq.heappop(self._events)
+        batch = [client_id]
+        while self._events and self._events[0][0] == t:
+            batch.append(heapq.heappop(self._events)[2])
+        self.clock_s = t
+        return batch
+
+    def _train_completed(self, client_id: str):
+        """Materialize the training a client finished at this event:
+        run its local steps from the state it pulled and move the
+        delta over the Link."""
+        message, pulled_version = self._inflight.pop(client_id)
+        round_info = RoundInfo(
+            round_idx=pulled_version,
+            local_steps=self._local_steps,
+            global_step_base=pulled_version * self._local_steps,
+        )
+        update = self._collect_update(client_id, message, round_info)
+        return pulled_version, update
+
+    def _draw_failures(self, batch: list[str]) -> dict[str, ClientFailure]:
+        """Serial failure draws for a completion batch (in batch order,
+        so the FailureModel RNG stream is identical for any
+        max_workers).  A buffered engine has no round to redo, so
+        retry_round / min_survivors degrade to partial participation;
+        strict still aborts the run on any crash."""
+        doomed: dict[str, ClientFailure] = {}
+        if self.failure_model is None:
+            return doomed
+        for client_id in batch:
+            pulled_version = self._inflight[client_id][1]
+            if self.failure_model.should_fail(client_id, pulled_version):
+                if self.fault_policy.mode == "strict":
+                    raise ClientFailure(client_id, pulled_version)
+                doomed[client_id] = ClientFailure(client_id, pulled_version)
+        return doomed
+
+    def _flush(self) -> RoundRecord:
+        """Apply ServerOpt to the staleness-weighted buffer contents.
+
+        FedBuff semantics: the staleness discount is an *absolute*
+        attenuation — each delta is scaled by ``w(s)`` before the
+        buffer mean, so a fully-stale buffer produces a smaller server
+        update (it is NOT renormalized away; with ``buffer_size == 1``
+        a stale delta really does shrink).
+        """
+        round_idx = self.version  # one history record per server update
+        staleness = [self.version - pulled for pulled, _ in self._buffer]
+        weights = [self.staleness_fn(s) for s in staleness]
+        updates = [u for _, u in self._buffer]
+        scaled = [
+            u.delta if w == 1.0
+            else {k: v * np.float32(w) for k, v in u.delta.items()}
+            for u, w in zip(updates, weights)
+        ]
+        pseudo_grad = self._merge(updates, deltas=scaled)
+        self.global_state = self.server_opt.step(self.global_state, pseudo_grad)
+        self.version += 1
+        self.total_steps_done += self._local_steps
+        self._buffer.clear()
+
+        if self.checkpointer is not None:
+            self.checkpointer.save(round_idx, self.global_state,
+                                   metadata={"clients": [u.client_id for u in updates]})
+
+        client_metrics = aggregate_metrics([
+            {**u.metrics, "staleness": float(s), "staleness_weight": float(w)}
+            for u, s, w in zip(updates, staleness, weights)
+        ])
+        record = RoundRecord(
+            round_idx=round_idx,
+            val_perplexity=self.evaluate(),
+            train_loss=float(np.mean([u.metrics["train_loss_mean"] for u in updates])),
+            clients=[u.client_id for u in updates],
+            comm_bytes_up=self.link.bytes_received - self._bytes_up_mark,
+            comm_bytes_down=self.link.bytes_sent - self._bytes_down_mark,
+            pseudo_grad_norm=tree_norm(pseudo_grad),
+            client_metrics=client_metrics,
+            failed_clients=sorted(set(self._failed_pending)),
+            retries=0,
+        )
+        self._failed_pending.clear()
+        # Without a wall-time model the event clock ticks placeholder
+        # units; leave the public timing fields at 0.0 like the sync
+        # engine rather than reporting fake seconds.
+        if self.walltime is not None:
+            record.wall_time_s = self.clock_s - self._last_flush_clock
+            self.simulated_wall_time_s += record.wall_time_s
+        self._last_flush_clock = self.clock_s
+        self._bytes_up_mark = self.link.bytes_received
+        self._bytes_down_mark = self.link.bytes_sent
+        self.history.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def _consume_arrivals(self) -> RoundRecord | None:
+        """Feed queued arrivals into the buffer, stopping at the first
+        flush.  Clients whose arrival has been consumed rejoin the idle
+        queue; fresh work is issued against the current (possibly
+        just-updated) global model."""
+        record = None
+        while self._arrivals and record is None:
+            client_id, outcome = self._arrivals.popleft()
+            self._idle.append(client_id)
+            if isinstance(outcome, ClientFailure):
+                self._failed_pending.append(outcome.client_id)
+                continue
+            self._buffer.append(outcome)
+            if len(self._buffer) >= self.buffer_size:
+                record = self._flush()
+        # Top concurrency back up (deferred-unavailable slots are
+        # re-offered here, so the shrinkage is temporary).
+        self._refill(self.concurrency - len(self._inflight))
+        return record
+
+    def run_round(self, round_idx: int, local_steps: int) -> RoundRecord:
+        """Advance the event loop until the next server update.
+
+        The buffer is checked after *each* arrival, so ``buffer_size``
+        is honored even when completions tie (unit clock); a tied
+        batch's surplus arrivals stay queued and seed the *next*
+        server update, keeping exactly one flush per ``run_round``.
+
+        ``round_idx`` is ignored: async rounds are numbered by server
+        version (records carry ``round_idx == version`` at flush time,
+        which matches the caller's counter in the normal ``run()``
+        flow), and failure/availability draws use each client's
+        *pulled* version — the round it actually trained for.
+        """
+        self._ensure_started(local_steps)
+
+        while True:
+            record = self._consume_arrivals()
+            if record is not None:
+                return record
+            batch = self._pop_batch()
+            doomed = self._draw_failures(batch)
+            for client_id in doomed:
+                self._inflight.pop(client_id)
+            survivors = [cid for cid in batch if cid not in doomed]
+            if self.max_workers > 1 and len(survivors) > 1:
+                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                    trained = list(pool.map(self._train_completed, survivors))
+            else:
+                trained = [self._train_completed(cid) for cid in survivors]
+            outcomes = {**doomed, **dict(zip(survivors, trained))}
+            self._arrivals.extend((cid, outcomes[cid]) for cid in batch)

@@ -28,6 +28,7 @@ from ..net.walltime import WallTimeModel
 from ..optim import LRSchedule, WarmupCosine
 from ..utils.metrics import History
 from .aggregator import Aggregator
+from .engine import AsyncAggregator, RoundEngine
 from .client import LLMClient
 from .link import Link
 from .postprocess import PostProcessor
@@ -70,6 +71,12 @@ class Photon:
         Optional analytic wall-clock accounting (Appendix B.1).
     uptime:
         Client availability probability per round (1.0 = always on).
+    client_speed_spread:
+        Per-client hardware/link heterogeneity: each client's compute
+        and bandwidth slowdown is drawn log-uniformly from
+        ``[1, spread]`` (requires ``walltime_config``; 1.0 keeps the
+        federation equipollent).  This is what makes the async engine's
+        event clock interesting — stragglers no longer pace a barrier.
     """
 
     def __init__(self, model_config: ModelConfig, fed_config: FedConfig,
@@ -87,8 +94,22 @@ class Photon:
                  merge_fn=None,
                  initial_state=None,
                  max_workers: int = 1,
+                 client_speed_spread: float = 1.0,
                  data_seed: int = 1234,
                  init_seed: int = 0):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if not 0.0 < uptime <= 1.0:
+            raise ValueError(f"uptime must be in (0, 1], got {uptime}")
+        if client_speed_spread < 1.0:
+            raise ValueError(
+                f"client_speed_spread must be >= 1, got {client_speed_spread}"
+            )
+        if client_speed_spread > 1.0 and walltime_config is None:
+            raise ValueError(
+                "client_speed_spread needs a walltime_config to build the "
+                "heterogeneous simulated clock"
+            )
         self.model_config = model_config
         self.fed_config = fed_config
         self.optim_config = optim_config or OptimConfig()
@@ -123,8 +144,18 @@ class Photon:
         availability = (
             AvailabilityModel(uptime, seed=fed_config.seed) if uptime < 1.0 else None
         )
-        walltime = WallTimeModel(walltime_config) if walltime_config else None
-        self.aggregator = Aggregator(
+        walltime = None
+        if walltime_config is not None:
+            if client_speed_spread > 1.0:
+                walltime = WallTimeModel.heterogeneous(
+                    walltime_config, sorted(clients),
+                    compute_spread=client_speed_spread,
+                    bandwidth_spread=client_speed_spread,
+                    seed=fed_config.seed,
+                )
+            else:
+                walltime = WallTimeModel(walltime_config)
+        engine_kwargs = dict(
             model_config=model_config,
             clients=clients,
             server_opt=make_server_opt(
@@ -143,6 +174,17 @@ class Photon:
             max_workers=max_workers,
             init_seed=init_seed,
         )
+        self.aggregator: RoundEngine
+        if fed_config.mode == "async":
+            # Unset knobs fall through to the engine's own defaults.
+            if fed_config.staleness_alpha is not None:
+                engine_kwargs["staleness_alpha"] = fed_config.staleness_alpha
+            self.aggregator = AsyncAggregator(
+                buffer_size=fed_config.buffer_size or fed_config.clients_per_round,
+                **engine_kwargs,
+            )
+        else:
+            self.aggregator = Aggregator(**engine_kwargs)
 
     # ------------------------------------------------------------------
     def _build_data(self, corpus, heterogeneity: float, num_shards: int,

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import WallTimeConfig
 
 __all__ = [
@@ -87,12 +89,63 @@ class RoundTiming:
 
 
 class WallTimeModel:
-    """Evaluate Eqs. 1–7 for a given hardware/bandwidth configuration."""
+    """Evaluate Eqs. 1–7 for a given hardware/bandwidth configuration.
 
-    def __init__(self, config: WallTimeConfig):
+    Beyond the paper's equipollent-client assumption, the model can
+    carry **per-client heterogeneity**: ``client_compute_factors`` and
+    ``client_bandwidth_factors`` map client ids to slowdown factors
+    (``1.0`` = nominal, ``4.0`` = four times slower compute / link).
+    Unlisted clients run at nominal speed, so both the per-client
+    timings (:meth:`client_timing`, used by the asynchronous engine's
+    event clock) and the barrier timing (:meth:`cohort_timing`, used
+    by the synchronous engine) reduce exactly to Eqs. 1–5 when no
+    factors are supplied.
+    """
+
+    def __init__(self, config: WallTimeConfig,
+                 client_compute_factors: dict[str, float] | None = None,
+                 client_bandwidth_factors: dict[str, float] | None = None):
         if config.throughput <= 0 or config.bandwidth_mbps <= 0 or config.model_mb <= 0:
             raise ValueError("throughput, bandwidth and model size must be positive")
         self.config = config
+        self.client_compute_factors = dict(client_compute_factors or {})
+        self.client_bandwidth_factors = dict(client_bandwidth_factors or {})
+        for factors in (self.client_compute_factors, self.client_bandwidth_factors):
+            for cid, f in factors.items():
+                if f <= 0:
+                    raise ValueError(
+                        f"slowdown factor for client {cid!r} must be positive, got {f}"
+                    )
+
+    @classmethod
+    def heterogeneous(cls, config: WallTimeConfig, client_ids: list[str],
+                      compute_spread: float = 1.0, bandwidth_spread: float = 1.0,
+                      seed: int = 0) -> "WallTimeModel":
+        """Build a model with seeded log-uniform per-client slowdowns.
+
+        Each client's compute (resp. link) slowdown is drawn
+        log-uniformly from ``[1, compute_spread]`` (resp.
+        ``[1, bandwidth_spread]``); a spread of 1 keeps that dimension
+        equipollent.
+        """
+        if compute_spread < 1.0 or bandwidth_spread < 1.0:
+            raise ValueError("spreads must be >= 1 (1 = homogeneous)")
+        rng = np.random.default_rng(seed)
+
+        def draw(spread: float) -> dict[str, float]:
+            if spread == 1.0:
+                return {}
+            logs = rng.uniform(0.0, np.log(spread), size=len(client_ids))
+            return {cid: float(np.exp(v)) for cid, v in zip(client_ids, logs)}
+
+        return cls(config, client_compute_factors=draw(compute_spread),
+                   client_bandwidth_factors=draw(bandwidth_spread))
+
+    def compute_factor(self, client_id: str) -> float:
+        return self.client_compute_factors.get(client_id, 1.0)
+
+    def bandwidth_factor(self, client_id: str) -> float:
+        return self.client_bandwidth_factors.get(client_id, 1.0)
 
     # ------------------------------------------------------------------
     # Equation 1
@@ -151,6 +204,37 @@ class WallTimeModel:
             comm_s=self.comm_s(topology, clients),
             overlapped=overlap,
         )
+
+    def client_timing(self, client_id: str, local_steps: int,
+                      overlap: bool = False) -> RoundTiming:
+        """Timing of one client's pull–train–push cycle on *its own*
+        hardware and link (the asynchronous engine's event clock).
+
+        Compute is Eq. 1 scaled by the client's compute slowdown; the
+        exchange is a dedicated download + upload of the full model
+        over the client's link (``2·S/B_i``) — no collective, so no
+        congestion term.
+        """
+        compute = self.local_compute_s(local_steps) * self.compute_factor(client_id)
+        bw = self.config.bandwidth_mbps / self.bandwidth_factor(client_id)
+        comm = 2.0 * self.config.model_mb / bw
+        return RoundTiming(compute_s=compute, comm_s=comm, overlapped=overlap)
+
+    def cohort_timing(self, topology: str | CommTopology, client_ids: list[str],
+                      local_steps: int, overlap: bool = False) -> RoundTiming:
+        """Synchronous-barrier timing of a concrete cohort: the compute
+        barrier is the *slowest* client's Eq. 1, and the collective is
+        bottlenecked by the slowest link.  With no per-client factors
+        this equals :meth:`round_timing` for ``len(client_ids)``."""
+        if not client_ids:
+            raise ValueError("cohort_timing needs at least one client")
+        compute = self.local_compute_s(local_steps) * max(
+            self.compute_factor(c) for c in client_ids
+        )
+        comm = self.comm_s(topology, len(client_ids)) * max(
+            self.bandwidth_factor(c) for c in client_ids
+        )
+        return RoundTiming(compute_s=compute, comm_s=comm, overlapped=overlap)
 
     def total_wall_time_s(self, topology: str | CommTopology, clients: int,
                           local_steps: int, rounds: int) -> float:

@@ -99,7 +99,6 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
     out_data = x_hat * gamma.data + beta.data
 
     def backward(grad):
-        d = x.shape[-1]
         dg = unbroadcast(grad * x_hat, gamma.shape)
         db = unbroadcast(grad, beta.shape)
         dxhat = grad * gamma.data
@@ -109,7 +108,6 @@ def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Ten
             - dxhat.mean(axis=-1, keepdims=True)
             - x_hat * (dxhat * x_hat).mean(axis=-1, keepdims=True)
         ) * inv_std
-        del d
         return (dx.astype(np.float32), dg.astype(np.float32), db.astype(np.float32))
 
     return Tensor._make(out_data.astype(np.float32), (x, gamma, beta), backward)

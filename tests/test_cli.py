@@ -61,6 +61,7 @@ class TestCommands:
 
         assert total(overlapped) <= total(plain)
 
+    @pytest.mark.slow
     def test_train_micro(self, capsys):
         assert main(["train", "--model", "tiny", "--clients", "2",
                      "--local-steps", "2", "--rounds", "1",

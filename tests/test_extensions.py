@@ -232,6 +232,7 @@ class TestParallelAggregation:
 
 
 class TestHyperopt:
+    @pytest.mark.slow
     def test_successive_halving_converges_to_one(self):
         fed = FedConfig(population=2, clients_per_round=2, local_steps=2, rounds=4)
         candidates = [Candidate(max_lr=3e-3), Candidate(max_lr=1e-6),
@@ -242,6 +243,7 @@ class TestHyperopt:
         # The tiny LRs cannot win against a working one.
         assert results[0].candidate.max_lr >= 1e-3
 
+    @pytest.mark.slow
     def test_single_candidate_short_circuit(self):
         fed = FedConfig(population=1, clients_per_round=1, local_steps=2, rounds=2)
         results = successive_halving(CFG, fed, OPTIM, [Candidate(max_lr=3e-3)],
@@ -339,6 +341,7 @@ class TestHardTasks:
 
 
 class TestPhotonWithExtensions:
+    @pytest.mark.slow
     def test_quantized_link_still_converges(self):
         photon = Photon(
             CFG,

@@ -40,6 +40,7 @@ OPTIM = OptimConfig(max_lr=4e-3, warmup_steps=2, schedule_steps=128,
 
 
 class TestFullLifecycle:
+    @pytest.mark.slow
     def test_pretrain_checkpoint_recover_serve(self, tmp_path):
         """Pre-train -> crash -> recover from checkpoint -> evaluate
         downstream -> serve via the inference engine."""
@@ -73,6 +74,7 @@ class TestFullLifecycle:
             out, model.generate(np.array([3, 4]), 5, temperature=0.0)
         )
 
+    @pytest.mark.slow
     def test_report_pipeline(self, tmp_path):
         """History -> JSON/markdown artifacts round-trip."""
         photon = Photon(
@@ -150,6 +152,7 @@ class TestHardenedDeployment:
 
 
 class TestRecipeComposition:
+    @pytest.mark.slow
     def test_table5_style_schedule_stretch(self):
         """Build the federated schedule from a centralized recipe via
         the Table 5 stretch rule and verify the client follows it."""
@@ -184,6 +187,7 @@ class TestRecipeComposition:
         history = photon.train()
         assert np.isfinite(history.val_perplexities).all()
 
+    @pytest.mark.slow
     def test_parallel_workers_full_photon(self):
         """Photon with threaded clients matches the sequential run."""
         def build(workers):

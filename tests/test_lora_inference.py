@@ -191,6 +191,7 @@ class TestTiesMerge:
 
 
 class TestContinual:
+    @pytest.mark.slow
     def test_warm_start_resumes_progress(self):
         fed = FedConfig(population=2, clients_per_round=2, local_steps=8, rounds=2)
         first = Photon(CFG, fed, OPTIM, data_seed=3)
@@ -211,6 +212,7 @@ class TestContinual:
         with pytest.raises(KeyError):
             continue_pretraining({"bogus": np.zeros(1)}, CFG, fed, OPTIM)
 
+    @pytest.mark.slow
     def test_personalize_improves_local_ppl(self):
         photon = Photon(
             CFG,

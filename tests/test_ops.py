@@ -190,3 +190,64 @@ class TestPropertyBased:
         logits = Tensor(rng.normal(size=(1, 3, vocab)))
         targets = rng.integers(0, vocab, size=(1, 3))
         assert cross_entropy(logits, targets).item() >= 0.0
+
+
+class TestFiniteDifferenceSweep:
+    """Every fused op in ``repro.tensor.ops`` checked against central
+    finite differences on several shapes — the property the hand-derived
+    backward passes must satisfy."""
+
+    @pytest.mark.parametrize("shape", [(3,), (2, 5), (2, 3, 4)])
+    def test_softmax(self, rng, shape):
+        x = rng.normal(size=shape)
+        weights = Tensor(rng.normal(size=shape))
+        check_gradients(lambda t: softmax(t) * weights, [x])
+
+    @pytest.mark.parametrize("shape", [(4,), (3, 4), (2, 2, 5)])
+    def test_log_softmax(self, rng, shape):
+        x = rng.normal(size=shape)
+        weights = Tensor(rng.normal(size=shape))
+        check_gradients(lambda t: log_softmax(t) * weights, [x])
+
+    @pytest.mark.parametrize("batch,seq,vocab", [(1, 4, 6), (2, 3, 5)])
+    def test_cross_entropy(self, rng, batch, seq, vocab):
+        logits = rng.normal(size=(batch, seq, vocab))
+        targets = rng.integers(0, vocab, size=(batch, seq))
+        check_gradients(lambda t: cross_entropy(t, targets), [logits])
+
+    def test_cross_entropy_ignore_index(self, rng):
+        vocab = 6
+        logits = rng.normal(size=(2, 4, vocab))
+        targets = rng.integers(0, vocab, size=(2, 4))
+        targets[0, 1] = -100
+        targets[1, 3] = -100
+        check_gradients(lambda t: cross_entropy(t, targets, ignore_index=-100),
+                        [logits])
+        # Ignored positions must receive exactly zero gradient.
+        t = Tensor(logits, requires_grad=True)
+        cross_entropy(t, targets, ignore_index=-100).backward()
+        np.testing.assert_array_equal(t.grad[0, 1], np.zeros(vocab))
+        np.testing.assert_array_equal(t.grad[1, 3], np.zeros(vocab))
+
+    @pytest.mark.parametrize("shape", [(3, 6), (2, 2, 4)])
+    def test_layer_norm_all_operands(self, rng, shape):
+        d = shape[-1]
+        x = rng.normal(size=shape)
+        gamma = rng.uniform(0.5, 1.5, size=d)
+        beta = rng.normal(size=d)
+        check_gradients(lambda a, g, b: layer_norm(a, g, b), [x, gamma, beta])
+
+    def test_embedding(self, rng):
+        weight = rng.normal(size=(7, 4))
+        idx = np.array([[0, 2, 2], [6, 1, 2]])
+        scale = Tensor(rng.normal(size=(2, 3, 4)))
+        check_gradients(lambda w: embedding(w, idx) * scale, [weight])
+
+    def test_dropout(self, rng):
+        x = rng.normal(size=(4, 5))
+        # A fresh generator with a fixed seed per evaluation keeps the
+        # mask identical across the finite-difference probes.
+        check_gradients(
+            lambda t: dropout(t, 0.4, np.random.default_rng(11), training=True),
+            [x],
+        )

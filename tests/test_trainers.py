@@ -117,12 +117,14 @@ class TestPhotonFacade:
         defaults.update(kwargs)
         return Photon(**defaults)
 
+    @pytest.mark.slow
     def test_c4_end_to_end(self):
         photon = self.make_photon()
         history = photon.train()
         assert len(history) == 3
         assert history.val_perplexities[-1] < history.val_perplexities[0]
 
+    @pytest.mark.slow
     def test_result_summary(self):
         photon = self.make_photon()
         photon.train()
@@ -164,6 +166,7 @@ class TestPhotonFacade:
         with pytest.raises(ValueError):
             self.make_photon(corpus="wikitext")
 
+    @pytest.mark.slow
     def test_partial_participation_built(self):
         from repro.fed import UniformSampler
 
@@ -175,6 +178,7 @@ class TestPhotonFacade:
         record = photon.aggregator.run_round(0, 1)
         assert len(record.clients) == 2
 
+    @pytest.mark.slow
     def test_walltime_integration(self):
         photon = self.make_photon(
             walltime_config=WallTimeConfig(throughput=2.0, bandwidth_mbps=1250.0,
@@ -183,6 +187,7 @@ class TestPhotonFacade:
         photon.train(rounds=2)
         assert photon.result().simulated_wall_time_s > 0
 
+    @pytest.mark.slow
     def test_communication_summary(self):
         photon = self.make_photon()
         photon.train(rounds=2)
@@ -190,6 +195,7 @@ class TestPhotonFacade:
         assert summary["measured_bytes"] > 0
         assert summary["reduction_vs_ddp"] > 1.0
 
+    @pytest.mark.slow
     def test_uptime_availability(self):
         photon = self.make_photon(
             fed_config=FedConfig(population=4, clients_per_round=4,
@@ -207,6 +213,7 @@ class TestPhotonFacade:
 class TestPhotonVsBaselines:
     """The paper's qualitative claims at miniature scale."""
 
+    @pytest.mark.slow
     def test_fedavg_matches_centralized_token_budget(self):
         """Photon with N clients for R rounds of τ steps sees the same
         number of tokens as centralized R·τ steps at N× batch."""
@@ -216,6 +223,7 @@ class TestPhotonVsBaselines:
         fed_tokens = photon.result().tokens_processed
         assert fed_tokens == 2 * 2 * 4 * OPTIM.batch_size * CFG.seq_len
 
+    @pytest.mark.slow
     def test_photon_converges_faster_than_diloco_eta01(self):
         """Table 3's claim: Photon reaches a target perplexity roughly
         2× faster than DiLoCo with the paper-selected ηs = 0.1."""
