@@ -1,0 +1,79 @@
+"""Fault-tolerant asynchronous federation: deadlines, drops, retries.
+
+PR 1's buffered async engine keeps stragglers from pacing a barrier —
+but a client that crashes mid-pull, flakes in and out of coverage, or
+straggles past usefulness still needs a policy.  This walkthrough runs
+one federation under increasingly hostile conditions and shows the
+fault knobs working together:
+
+* a ``FailureModel`` injects seeded crashes; the ``retry_round``
+  fault policy re-issues the crashed request immediately (bounded by
+  ``max_retries``), so transient crashes cost a retry, not a dropout;
+* a ``DeadlinePolicy`` (``FedConfig(deadline=..., drop_policy=...)``)
+  cancels cycles that cannot finish inside the simulated deadline and
+  force-flushes a non-empty buffer at most ``deadline`` seconds after
+  the previous flush — the dropped steps/bytes are accounted per
+  flush;
+* ``adaptive_local_steps`` lets the 4x-slower clients train
+  proportionally fewer steps per pull, so they fit back under the
+  deadline instead of being dropped forever.
+
+Run:
+    python examples/fault_tolerant_async.py
+"""
+
+from __future__ import annotations
+
+from repro import Photon
+from repro.config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
+from repro.fed import FailureModel, FaultPolicy
+
+
+def build(deadline: float | None, drop_policy: str | None,
+          adaptive: bool) -> Photon:
+    model = ModelConfig("fault-demo", n_blocks=2, d_model=32, n_heads=2,
+                        vocab_size=32, seq_len=32)
+    fed = FedConfig(
+        population=4, clients_per_round=4, local_steps=16, rounds=5,
+        mode="async", staleness_alpha=0.5,
+        deadline=deadline, drop_policy=drop_policy,
+        adaptive_local_steps=adaptive,
+    )
+    optim = OptimConfig(max_lr=5e-3, warmup_steps=8,
+                        schedule_steps=fed.total_client_steps,
+                        batch_size=4, weight_decay=0.0)
+    # ~8 s nominal cycle; slowdowns drawn log-uniformly from [1, 4].
+    walltime = WallTimeConfig(throughput=2.0, bandwidth_mbps=312.5,
+                              model_mb=model.param_bytes / 2**20)
+    return Photon(model, fed, optim, walltime_config=walltime,
+                  client_speed_spread=4.0, uptime=0.8,
+                  failure_model=FailureModel(crash_prob=0.1, seed=3),
+                  fault_policy=FaultPolicy(mode="retry_round", max_retries=1))
+
+
+def main() -> None:
+    scenarios = [
+        ("no deadline (admit everything)", None, None, False),
+        ("deadline 12s, drop", 12.0, "drop", False),
+        ("deadline 12s, drop + adaptive steps", 12.0, "drop", True),
+    ]
+    for title, deadline, policy, adaptive in scenarios:
+        photon = build(deadline, policy, adaptive)
+        history = photon.train()
+        print(f"\n=== {title} ===")
+        print("round  val_ppl  wall_s  clients  failed  retries  dropped(steps/KB)")
+        for r in history:
+            print(f"{r.round_idx:>5}  {r.val_perplexity:>7.2f}  "
+                  f"{r.wall_time_s:>6.1f}  {len(r.clients):>7}  "
+                  f"{len(r.failed_clients):>6}  {r.retries:>7}  "
+                  f"{r.dropped_steps:>6} / {r.dropped_bytes / 1024:>5.1f}")
+        result = photon.result()
+        ledger = photon.aggregator.drop_ledger
+        print(f"simulated wall time : {result.simulated_wall_time_s:.1f} s")
+        print(f"final perplexity    : {result.final_perplexity:.2f}")
+        print(f"work cancelled      : {ledger.total_dropped_steps} steps, "
+              f"{ledger.total_dropped_bytes / 1024:.1f} KB")
+
+
+if __name__ == "__main__":
+    main()

@@ -64,6 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--walltime", action="store_true",
                        help="attach the Appendix B.1 wall-time model "
                             "(125M-preset bandwidth/throughput)")
+    train.add_argument("--deadline", type=float, default=None,
+                       help="async: simulated seconds a client cycle may take "
+                            "before the drop policy applies")
+    train.add_argument("--drop-policy", default=None,
+                       choices=["drop", "requeue", "admit_stale"],
+                       help="async: what happens to over-deadline work "
+                            "(default with --deadline: drop)")
+    train.add_argument("--adaptive-local-steps", action="store_true",
+                       help="async: slow clients train proportionally fewer "
+                            "steps per pull (needs a wall-time model)")
+    train.add_argument("--crash-prob", type=float, default=0.0,
+                       help="per-(client, round) crash probability "
+                            "(seeded fault injection)")
 
     diloco = sub.add_parser("diloco", help="run the DiLoCo baseline")
     diloco.add_argument("--model", default="tiny")
@@ -90,12 +103,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _warmup_for(total_steps: int) -> int:
-    """Warmup length that always leaves room for the cosine phase."""
-    return max(1, min(total_steps // 4, total_steps - 1))
+    """Warmup length that always leaves room for the cosine phase.
+
+    Strictly shorter than ``total_steps`` — a one-step run gets zero
+    warmup rather than a schedule with no decay phase.
+    """
+    return min(max(1, total_steps // 4), total_steps - 1)
 
 
 def _cmd_train(args) -> int:
-    from .fed import Photon
+    from .fed import FailureModel, Photon
     from .net import gbps_to_mbps
 
     model = model_config(args.model)
@@ -104,7 +121,9 @@ def _cmd_train(args) -> int:
                     local_steps=args.local_steps, rounds=args.rounds,
                     server_opt=args.server_opt, seed=args.seed,
                     mode=args.mode, buffer_size=args.buffer_size,
-                    staleness_alpha=args.staleness_alpha)
+                    staleness_alpha=args.staleness_alpha,
+                    deadline=args.deadline, drop_policy=args.drop_policy,
+                    adaptive_local_steps=args.adaptive_local_steps)
     optim = OptimConfig(max_lr=args.max_lr,
                         warmup_steps=_warmup_for(fed.total_client_steps),
                         schedule_steps=fed.total_client_steps,
@@ -116,9 +135,13 @@ def _cmd_train(args) -> int:
             throughput=nu, bandwidth_mbps=gbps_to_mbps(2.5),
             model_mb=model.param_bytes / 2**20,
         )
+    failure_model = None
+    if args.crash_prob > 0.0:
+        failure_model = FailureModel(crash_prob=args.crash_prob, seed=args.seed)
     photon = Photon(model, fed, optim, corpus=args.corpus,
                     heterogeneity=args.heterogeneity,
                     walltime_config=walltime_config,
+                    failure_model=failure_model,
                     client_speed_spread=args.straggler_spread)
     history = photon.train()
     print("round  val_ppl  train_ppl")
@@ -131,6 +154,18 @@ def _cmd_train(args) -> int:
     print(f"comm bytes      : {result.total_comm_bytes:,}")
     if walltime_config is not None:
         print(f"simulated wall  : {result.simulated_wall_time_s:,.1f} s")
+    if failure_model is not None:
+        failed = sum(len(r.failed_clients) for r in history)
+        retries = sum(r.retries for r in history)
+        print(f"crashes         : {failure_model.failures_injected} "
+              f"({failed} dropped, {retries} retried)")
+    if fed.deadline is not None:
+        dropped_steps = sum(r.dropped_steps for r in history)
+        dropped_bytes = sum(r.dropped_bytes for r in history)
+        misses = sum(r.deadline_misses for r in history)
+        print(f"deadline        : {fed.deadline:g} s "
+              f"({fed.drop_policy or 'drop'}); dropped {dropped_steps} steps / "
+              f"{dropped_bytes:,} bytes, {misses} late admits")
     return 0
 
 
@@ -224,7 +259,18 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        # Config errors (bad flag combinations, impossible deadlines,
+        # …) are usage errors: one line on stderr, no traceback.
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        # Unknown preset lookups (e.g. --model) raise KeyError.
+        reason = exc.args[0] if exc.args else exc
+        print(f"repro {args.command}: error: {reason}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -119,8 +119,16 @@ class FedConfig:
     server applies ``ServerOpt`` once ``buffer_size`` client deltas
     have arrived (default: the round cohort size) and down-weights a
     delta that is ``s`` server versions stale by
-    ``1 / (1 + s)**staleness_alpha`` (default 0.5 when unset).  Both
-    knobs are async-only and rejected under ``mode="sync"``.
+    ``1 / (1 + s)**staleness_alpha`` (default 0.5 when unset).
+
+    Fault-tolerance knobs (all async-only, rejected under
+    ``mode="sync"``): ``deadline`` bounds a client's simulated
+    pull–train–push cycle in seconds and ``drop_policy`` selects the
+    enforcement (``"drop"`` cancel + idle, ``"requeue"`` cancel +
+    immediate re-issue, ``"admit_stale"`` measure only — see
+    :class:`~repro.fed.faults.DeadlinePolicy`);
+    ``adaptive_local_steps`` lets slow clients train proportionally
+    fewer steps per pull, renormalized in the aggregation weighting.
     """
 
     population: int = 8
@@ -135,6 +143,9 @@ class FedConfig:
     mode: str = "sync"
     buffer_size: int | None = None
     staleness_alpha: float | None = None
+    deadline: float | None = None
+    drop_policy: str | None = None
+    adaptive_local_steps: bool = False
 
     def __post_init__(self) -> None:
         if self.clients_per_round > self.population:
@@ -154,6 +165,22 @@ class FedConfig:
             raise ValueError(
                 f"staleness_alpha must be non-negative, got {self.staleness_alpha}"
             )
+        if self.deadline is not None and self.mode != "async":
+            raise ValueError("deadline only applies to mode='async'")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.drop_policy is not None and self.deadline is None:
+            raise ValueError("drop_policy needs a deadline to enforce")
+        # Canonical list lives in repro.fed.faults.DROP_POLICIES
+        # (duplicated here: config must not import the fed package).
+        if self.drop_policy is not None and self.drop_policy not in (
+                "drop", "requeue", "admit_stale"):
+            raise ValueError(
+                "drop_policy must be one of ('drop', 'requeue', 'admit_stale'), "
+                f"got {self.drop_policy!r}"
+            )
+        if self.adaptive_local_steps and self.mode != "async":
+            raise ValueError("adaptive_local_steps only applies to mode='async'")
 
     @property
     def participation(self) -> float:

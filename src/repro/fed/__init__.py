@@ -1,13 +1,25 @@
 """Federated core: Photon, its components, and the baselines."""
 
 from .aggregator import Aggregator
-from .engine import AsyncAggregator, PolynomialStaleness, RoundEngine, SyncAggregator
+from .engine import (
+    AsyncAggregator,
+    PolynomialStaleness,
+    RoundEngine,
+    SyncAggregator,
+    adaptive_step_weights,
+)
 from .centralized import CentralizedResult, CentralizedTrainer
 from .checkpoint import CheckpointManager
 from .client import LLMClient
 from .continual import PersonalizationResult, continue_pretraining, personalize
 from .contrib import ContributionTracker, PowerOfChoiceSampler, cosine_alignment
-from .faults import ClientFailure, FailureModel, FaultPolicy
+from .faults import (
+    ClientFailure,
+    DeadlinePolicy,
+    DropLedger,
+    FailureModel,
+    FaultPolicy,
+)
 from .ties import TiesAggregator, ties_merge
 from .diloco import DILOCO_SERVER_LRS, build_diloco
 from .hyperopt import Candidate, TrialResult, successive_halving
@@ -45,6 +57,7 @@ __all__ = [
     "SyncAggregator",
     "AsyncAggregator",
     "PolynomialStaleness",
+    "adaptive_step_weights",
     "LLMClient",
     "ClientUpdate",
     "RoundInfo",
@@ -81,6 +94,8 @@ __all__ = [
     "ClientFailure",
     "FailureModel",
     "FaultPolicy",
+    "DeadlinePolicy",
+    "DropLedger",
     "TiesAggregator",
     "ties_merge",
     "PersonalizationResult",

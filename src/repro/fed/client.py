@@ -188,6 +188,9 @@ class LLMClient:
             "train_loss_mean": float(losses.mean()),
             "train_loss_final": float(losses[-1]),
             "lr_final": optimizer.lr,
+            # Steps actually trained this pull — under adaptive local
+            # steps slow clients report fewer than the nominal τ.
+            "local_steps": float(round_info.local_steps),
         }
         return local_state, metrics, tokens
 
@@ -211,5 +214,6 @@ class LLMClient:
             "train_loss_final": float(np.mean([m["train_loss_final"] for m in node_metrics])),
             "lr_final": node_metrics[-1]["lr_final"],
             "sub_nodes": float(len(self.streams)),
+            "local_steps": float(round_info.local_steps),
         }
         return averaged, metrics, total_tokens

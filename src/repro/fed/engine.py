@@ -22,6 +22,16 @@ stragglers, slow links).  All completions sharing a timestamp are
 processed before any new work is issued at that instant, so with
 equipollent clients, ``buffer_size == cohort`` and no staleness
 penalty the async engine reproduces the synchronous trace exactly.
+
+Fault tolerance is first-class: in-flight crashes surface as
+completion events handled per :class:`~repro.fed.faults.FaultPolicy`
+(``retry_round`` re-issues the request immediately, ``partial`` drops
+the client back to the idle pool, ``strict`` aborts), a
+:class:`~repro.fed.faults.DeadlinePolicy` cancels or measures cycles
+that outlive a simulated wall-time deadline (with per-flush
+dropped-work accounting in a :class:`~repro.fed.faults.DropLedger`),
+and ``adaptive_local_steps`` lets slow clients train proportionally
+fewer steps per pull, normalized in the aggregation weighting.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from typing import NamedTuple
 
 import numpy as np
 
@@ -41,7 +52,7 @@ from ..utils.metrics import History, RoundRecord, aggregate_metrics
 from ..utils.serialization import StateDict, tree_mean, tree_norm
 from .checkpoint import CheckpointManager
 from .client import LLMClient
-from .faults import ClientFailure, FailureModel, FaultPolicy
+from .faults import ClientFailure, DeadlinePolicy, DropLedger, FailureModel, FaultPolicy
 from .link import Link, Message
 from .sampler import AvailabilityModel, ClientSampler, FullParticipation
 from .server_opt import FedAvg, ServerOpt
@@ -52,7 +63,35 @@ __all__ = [
     "SyncAggregator",
     "AsyncAggregator",
     "PolynomialStaleness",
+    "adaptive_step_weights",
 ]
+
+
+def adaptive_step_weights(steps: list[int]) -> list[float]:
+    """Aggregation weights for deltas trained with unequal local steps.
+
+    A delta from ``s_i`` local steps weighs ``s_i / Σ_j s_j`` — the
+    weights always sum to 1, and when every client trained the same
+    number of steps they reduce to the uniform ``1/n`` mean, which is
+    what keeps the sync==async equivalence anchor intact when
+    ``adaptive_local_steps`` is on over a homogeneous federation.
+    """
+    if not steps:
+        raise ValueError("adaptive_step_weights needs at least one entry")
+    if any(s < 1 for s in steps):
+        raise ValueError(f"local step counts must be >= 1, got {steps}")
+    total = float(sum(steps))
+    return [s / total for s in steps]
+
+
+class _InFlight(NamedTuple):
+    """Server-side state of one dispatched pull–train–push cycle."""
+
+    message: Message
+    version: int  # global version the client pulled
+    steps: int  # local steps this request plans to train
+    late: bool  # cycle outlives the deadline (any drop policy)
+    timed_out: bool  # cancelled at the deadline instead of completing
 
 
 class PolynomialStaleness:
@@ -159,14 +198,17 @@ class RoundEngine:
 
     # ------------------------------------------------------------------
     def _merge(self, updates: list[ClientUpdate],
-               deltas: list[StateDict] | None = None) -> StateDict:
+               deltas: list[StateDict] | None = None,
+               weights: list[float] | None = None) -> StateDict:
         """Combine client deltas into the round pseudo-gradient (L.8):
         uniform/token-weighted mean, or the custom ``merge_fn``.
         ``deltas`` overrides the updates' own deltas (the async engine
-        passes staleness-scaled copies)."""
+        passes staleness-scaled copies); an explicit ``weights`` takes
+        precedence over token weighting (adaptive local steps)."""
         if deltas is None:
             deltas = [u.delta for u in updates]
-        weights = [float(u.num_tokens) for u in updates] if self.weighted else None
+        if weights is None:
+            weights = [float(u.num_tokens) for u in updates] if self.weighted else None
         if self.merge_fn is not None:
             return self.merge_fn(deltas, weights)
         return tree_mean(deltas, weights)
@@ -350,6 +392,29 @@ class AsyncAggregator(RoundEngine):
         cohort the sampler picks at round 0.  The population beyond
         the concurrency limit is cycled round-robin, so every client
         eventually participates.
+    deadline:
+        Optional :class:`~repro.fed.faults.DeadlinePolicy`.  Under an
+        *enforcing* policy (``drop``/``requeue``) a request whose
+        simulated cycle would outlive ``deadline_s`` is cancelled at
+        the deadline — the abandoned steps and broadcast bytes land in
+        :attr:`drop_ledger` and the flush record — and the server
+        force-flushes a non-empty buffer at most ``deadline_s`` after
+        the previous flush instead of waiting for ``buffer_size``
+        arrivals.  ``admit_stale`` cancels nothing: late deltas arrive
+        with their usual staleness discount and only the miss count is
+        recorded.
+    adaptive_local_steps:
+        Slow clients (per the wall-time model's compute factors) train
+        ``τ / slowdown`` steps per pull, and deltas are merged with
+        steps-proportional weights (:func:`adaptive_step_weights`).
+        Without a wall-time model this is a no-op.
+
+    Crash handling (``failure_model``/``fault_policy``): failure draws
+    are serialized in completion-batch order, so histories are
+    rerun-identical for any ``max_workers``.  ``retry_round`` re-issues
+    a crashed client's request immediately against the current model
+    (up to ``max_retries`` consecutive times), ``partial`` returns the
+    client to the idle pool, ``strict`` aborts the run.
 
     The simulated clock comes from the engine's ``walltime`` model via
     :meth:`~repro.net.walltime.WallTimeModel.client_timing` (per-client
@@ -361,7 +426,9 @@ class AsyncAggregator(RoundEngine):
 
     def __init__(self, *args, buffer_size: int | None = None,
                  staleness_fn=None, staleness_alpha: float = 0.5,
-                 concurrency: int | None = None, **kwargs):
+                 concurrency: int | None = None,
+                 deadline: DeadlinePolicy | None = None,
+                 adaptive_local_steps: bool = False, **kwargs):
         super().__init__(*args, **kwargs)
         if buffer_size is not None and buffer_size < 1:
             raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
@@ -370,14 +437,21 @@ class AsyncAggregator(RoundEngine):
         self.buffer_size = buffer_size
         self.concurrency = concurrency
         self.staleness_fn = staleness_fn or PolynomialStaleness(staleness_alpha)
+        self.deadline = deadline
+        self.adaptive_local_steps = adaptive_local_steps
+        self.drop_ledger = DropLedger()
 
         self.version = 0  # server updates applied so far
         self.clock_s = 0.0  # simulated wall clock
         self._events: list[tuple[float, int, str]] = []  # (time, seq, client)
         self._seq = 0
-        self._inflight: dict[str, tuple[Message, int]] = {}
+        self._inflight: dict[str, _InFlight] = {}
         self._buffer: list[tuple[int, ClientUpdate]] = []  # (pull version, update)
         self._idle: deque[str] = deque()
+        # retry_round bookkeeping: consecutive crashes per client (the
+        # retry budget) and retries issued since the last flush.
+        self._failure_streak: dict[str, int] = {}
+        self._window_retries = 0
         # Trained completions awaiting server processing: the server
         # drains at most one flush worth per run_round, so a tied batch
         # can leave arrivals queued here for the next call.
@@ -397,15 +471,32 @@ class AsyncAggregator(RoundEngine):
             return 1.0
         return self.walltime.client_timing(client_id, local_steps).total_s
 
+    def _planned_steps(self, client_id: str) -> int:
+        """Local steps for the next pull: nominal, or scaled down by
+        the client's compute slowdown under ``adaptive_local_steps``."""
+        if self.adaptive_local_steps and self.walltime is not None:
+            return self.walltime.adaptive_local_steps(client_id, self._local_steps)
+        return self._local_steps
+
     def _dispatch(self, client_id: str) -> None:
         """Send the current global model to ``client_id`` and schedule
-        its completion event."""
+        its completion event — or, when an enforcing deadline already
+        knows the cycle cannot finish in time, its cancellation event
+        at the deadline."""
+        steps = self._planned_steps(client_id)
         message = self.link.send_state(
             self.global_state, sender="agg", receiver=client_id,
-            metadata={"version": self.version, "local_steps": self._local_steps},
+            metadata={"version": self.version, "local_steps": steps},
         )
-        self._inflight[client_id] = (message, self.version)
-        duration = self._client_duration_s(client_id, self._local_steps)
+        duration = self._client_duration_s(client_id, steps)
+        late = (self.deadline is not None
+                and duration > self.deadline.deadline_s)
+        timed_out = late and self.deadline.enforcing
+        if timed_out:
+            duration = self.deadline.deadline_s
+        self._inflight[client_id] = _InFlight(
+            message, self.version, steps, late, timed_out
+        )
         heapq.heappush(self._events, (self.clock_s + duration, self._seq, client_id))
         self._seq += 1
 
@@ -464,6 +555,19 @@ class AsyncAggregator(RoundEngine):
             self.buffer_size = len(selected)
         if self.concurrency is None:
             self.concurrency = len(selected)
+        if self.deadline is not None and self.deadline.enforcing:
+            # Fail fast on a deadline nobody can meet: every request
+            # would be cancelled and the federation could never flush.
+            fastest = min(
+                self._client_duration_s(cid, self._planned_steps(cid))
+                for cid in population
+            )
+            if fastest > self.deadline.deadline_s:
+                raise ValueError(
+                    f"deadline_s={self.deadline.deadline_s} is shorter than the "
+                    f"fastest client cycle ({fastest:.3g}s): no update could "
+                    "ever be admitted"
+                )
         # Sampled cohort trains first; the rest of the population joins
         # the round-robin idle queue behind it.
         self._idle = deque(selected + [c for c in population if c not in selected])
@@ -489,31 +593,62 @@ class AsyncAggregator(RoundEngine):
         """Materialize the training a client finished at this event:
         run its local steps from the state it pulled and move the
         delta over the Link."""
-        message, pulled_version = self._inflight.pop(client_id)
+        entry = self._inflight.pop(client_id)
         round_info = RoundInfo(
-            round_idx=pulled_version,
-            local_steps=self._local_steps,
-            global_step_base=pulled_version * self._local_steps,
+            round_idx=entry.version,
+            local_steps=entry.steps,
+            # The LR schedule stays synchronized on the *nominal* step
+            # count even when adaptive steps shrink a slow client's τ.
+            global_step_base=entry.version * self._local_steps,
         )
-        update = self._collect_update(client_id, message, round_info)
-        return pulled_version, update
+        update = self._collect_update(client_id, entry.message, round_info)
+        return entry.version, update
 
     def _draw_failures(self, batch: list[str]) -> dict[str, ClientFailure]:
         """Serial failure draws for a completion batch (in batch order,
         so the FailureModel RNG stream is identical for any
-        max_workers).  A buffered engine has no round to redo, so
-        retry_round / min_survivors degrade to partial participation;
-        strict still aborts the run on any crash."""
+        max_workers).  Crashes are then routed per fault policy:
+        retry_round re-issues immediately, partial / min_survivors
+        degrade to partial participation, strict aborts the run."""
         doomed: dict[str, ClientFailure] = {}
         if self.failure_model is None:
             return doomed
         for client_id in batch:
-            pulled_version = self._inflight[client_id][1]
+            pulled_version = self._inflight[client_id].version
             if self.failure_model.should_fail(client_id, pulled_version):
                 if self.fault_policy.mode == "strict":
                     raise ClientFailure(client_id, pulled_version)
                 doomed[client_id] = ClientFailure(client_id, pulled_version)
         return doomed
+
+    def _retry_crash(self, client_id: str) -> bool:
+        """retry_round semantics without a round: re-issue the crashed
+        client's request immediately against the current global model,
+        up to ``max_retries`` consecutive crashes; beyond the budget
+        (or under ``partial``) the crash degrades to a dropout."""
+        if self.fault_policy.mode != "retry_round":
+            return False
+        streak = self._failure_streak.get(client_id, 0) + 1
+        if streak > self.fault_policy.max_retries:
+            self._failure_streak[client_id] = 0  # fresh budget next pull
+            return False
+        self._failure_streak[client_id] = streak
+        self._dispatch(client_id)
+        self._window_retries += 1
+        return True
+
+    def _handle_timeout(self, client_id: str) -> None:
+        """A cancelled request reaches its deadline: account the
+        abandoned work, then requeue immediately or return the client
+        to the availability-gated idle pool per the drop policy."""
+        entry = self._inflight.pop(client_id)
+        self.drop_ledger.record_drop(
+            entry.steps, entry.message.nbytes + Link.METADATA_OVERHEAD
+        )
+        if self.deadline.drop_policy == "requeue":
+            self._dispatch(client_id)
+        else:
+            self._idle.append(client_id)
 
     def _flush(self) -> RoundRecord:
         """Apply ServerOpt to the staleness-weighted buffer contents.
@@ -533,7 +668,13 @@ class AsyncAggregator(RoundEngine):
             else {k: v * np.float32(w) for k, v in u.delta.items()}
             for u, w in zip(updates, weights)
         ]
-        pseudo_grad = self._merge(updates, deltas=scaled)
+        # Adaptive steps: deltas trained with fewer steps weigh less
+        # (steps-proportional weights; uniform when steps are equal).
+        merge_weights = (
+            adaptive_step_weights([u.num_steps for u in updates])
+            if self.adaptive_local_steps else None
+        )
+        pseudo_grad = self._merge(updates, deltas=scaled, weights=merge_weights)
         self.global_state = self.server_opt.step(self.global_state, pseudo_grad)
         self.version += 1
         self.total_steps_done += self._local_steps
@@ -547,6 +688,7 @@ class AsyncAggregator(RoundEngine):
             {**u.metrics, "staleness": float(s), "staleness_weight": float(w)}
             for u, s, w in zip(updates, staleness, weights)
         ])
+        window = self.drop_ledger.flush()
         record = RoundRecord(
             round_idx=round_idx,
             val_perplexity=self.evaluate(),
@@ -557,9 +699,13 @@ class AsyncAggregator(RoundEngine):
             pseudo_grad_norm=tree_norm(pseudo_grad),
             client_metrics=client_metrics,
             failed_clients=sorted(set(self._failed_pending)),
-            retries=0,
+            retries=self._window_retries,
+            dropped_steps=window["dropped_steps"],
+            dropped_bytes=window["dropped_bytes"],
+            deadline_misses=window["deadline_misses"],
         )
         self._failed_pending.clear()
+        self._window_retries = 0
         # Without a wall-time model the event clock ticks placeholder
         # units; leave the public timing fields at 0.0 like the sync
         # engine rather than reporting fake seconds.
@@ -593,6 +739,22 @@ class AsyncAggregator(RoundEngine):
         self._refill(self.concurrency - len(self._inflight))
         return record
 
+    def _deadline_flush(self) -> RoundRecord | None:
+        """Forced partial flush: under an enforcing deadline the server
+        waits at most ``deadline_s`` past the previous flush before
+        applying whatever the buffer holds — a straggler-heavy window
+        is closed at the deadline instead of waiting for
+        ``buffer_size`` arrivals.  (An empty buffer always waits for
+        the next arrival: the server cannot update on nothing.)"""
+        if (self.deadline is None or not self.deadline.enforcing
+                or not self._buffer):
+            return None
+        flush_at = self._last_flush_clock + self.deadline.deadline_s
+        if self._events and self._events[0][0] <= flush_at:
+            return None  # the next event still fits the window
+        self.clock_s = max(self.clock_s, flush_at)
+        return self._flush()
+
     def run_round(self, round_idx: int, local_steps: int) -> RoundRecord:
         """Advance the event loop until the next server update.
 
@@ -613,15 +775,43 @@ class AsyncAggregator(RoundEngine):
             record = self._consume_arrivals()
             if record is not None:
                 return record
+            record = self._deadline_flush()
+            if record is not None:
+                return record
             batch = self._pop_batch()
-            doomed = self._draw_failures(batch)
+            # Cancelled requests never complete: route them per drop
+            # policy before any failure draw or training happens, in
+            # batch order, so the event stream stays deterministic.
+            completed = []
+            for client_id in batch:
+                if self._inflight[client_id].timed_out:
+                    self._handle_timeout(client_id)
+                else:
+                    completed.append(client_id)
+            if not completed:
+                continue
+            doomed = self._draw_failures(completed)
+            retried = set()
             for client_id in doomed:
                 self._inflight.pop(client_id)
-            survivors = [cid for cid in batch if cid not in doomed]
+                if self._retry_crash(client_id):
+                    retried.add(client_id)
+            survivors = [cid for cid in completed if cid not in doomed]
+            # admit_stale: measure the deltas that outlived the
+            # deadline but are admitted anyway (serial — the drop
+            # ledger is not thread-safe; under an enforcing policy a
+            # late request is timed out, never a survivor).
+            for client_id in survivors:
+                if self._inflight[client_id].late:
+                    self.drop_ledger.record_late()
             if self.max_workers > 1 and len(survivors) > 1:
                 with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                     trained = list(pool.map(self._train_completed, survivors))
             else:
                 trained = [self._train_completed(cid) for cid in survivors]
+            for client_id in survivors:  # a delivery clears the streak
+                self._failure_streak.pop(client_id, None)
             outcomes = {**doomed, **dict(zip(survivors, trained))}
-            self._arrivals.extend((cid, outcomes[cid]) for cid in batch)
+            self._arrivals.extend(
+                (cid, outcomes[cid]) for cid in completed if cid not in retried
+            )

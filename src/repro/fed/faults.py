@@ -10,10 +10,19 @@ This module makes those semantics testable:
   optionally targeting specific rounds/clients;
 * :class:`FaultPolicy` — what the aggregator does when clients fail:
   ``partial`` (PS/AR semantics), ``retry_round`` (RAR semantics, with
-  a wall-time penalty), or ``strict`` (raise).
+  a wall-time penalty), or ``strict`` (raise);
+* :class:`DeadlinePolicy` — how the *asynchronous* engine treats
+  pull–train–push cycles that exceed a simulated wall-time deadline:
+  cancel and drop, cancel and requeue, or admit the late delta with
+  its normal staleness discount (accounting only);
+* :class:`DropLedger` — per-flush accounting of the work a deadline
+  cancels (local steps and broadcast bytes), so reports can show what
+  the policy cost.
 
-The :class:`~repro.fed.aggregator.Aggregator` consumes both via its
-``failure_model``/``fault_policy`` arguments.
+The :class:`~repro.fed.aggregator.Aggregator` consumes the first two
+via its ``failure_model``/``fault_policy`` arguments; the async
+:class:`~repro.fed.engine.AsyncAggregator` additionally takes a
+``deadline`` and keeps a :class:`DropLedger`.
 """
 
 from __future__ import annotations
@@ -22,9 +31,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ClientFailure", "FailureModel", "FaultPolicy", "FAULT_POLICIES"]
+__all__ = [
+    "ClientFailure",
+    "FailureModel",
+    "FaultPolicy",
+    "DeadlinePolicy",
+    "DropLedger",
+    "FAULT_POLICIES",
+    "DROP_POLICIES",
+]
 
 FAULT_POLICIES = ("partial", "retry_round", "strict")
+DROP_POLICIES = ("drop", "requeue", "admit_stale")
 
 
 class ClientFailure(RuntimeError):
@@ -112,3 +130,83 @@ class FaultPolicy:
         if topology == "rar":
             return cls(mode="retry_round")
         raise ValueError(f"unknown topology {topology!r}")
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """What the async engine does with work that outlives its deadline.
+
+    ``deadline_s`` bounds a client's pull–train–push cycle on the
+    simulated clock, and also bounds how long the server waits between
+    two flushes before applying whatever the buffer holds.
+
+    ``drop_policy`` selects the enforcement:
+
+    ``drop``         cancel the request at the deadline; the client
+                     abandons its work and rejoins the idle pool
+                     (availability-gated re-dispatch);
+    ``requeue``      cancel at the deadline and immediately re-issue
+                     the request against the *current* global model;
+    ``admit_stale``  never cancel: the late delta arrives naturally
+                     and is admitted with its usual staleness
+                     discount — the deadline only *measures* misses.
+    """
+
+    deadline_s: float
+    drop_policy: str = "drop"
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.drop_policy not in DROP_POLICIES:
+            raise ValueError(f"drop_policy must be one of {DROP_POLICIES}")
+
+    @property
+    def enforcing(self) -> bool:
+        """Whether the policy cancels work (vs. accounting only)."""
+        return self.drop_policy != "admit_stale"
+
+
+@dataclass
+class DropLedger:
+    """Running account of what a deadline policy cancels.
+
+    Drops accrue into an open *window*; :meth:`flush` closes the
+    window (one per server update) and returns its totals, so every
+    recorded drop lands in exactly one flush — the per-flush windows
+    always sum to the cumulative totals.
+    """
+
+    total_dropped_steps: int = 0
+    total_dropped_bytes: int = 0
+    total_deadline_misses: int = 0
+    _window_steps: int = 0
+    _window_bytes: int = 0
+    _window_misses: int = 0
+
+    def record_drop(self, steps: int, nbytes: int) -> None:
+        """A cancelled cycle: ``steps`` of training and ``nbytes`` of
+        broadcast payload are abandoned."""
+        if steps < 0 or nbytes < 0:
+            raise ValueError("dropped steps/bytes must be non-negative")
+        self.total_dropped_steps += steps
+        self.total_dropped_bytes += nbytes
+        self._window_steps += steps
+        self._window_bytes += nbytes
+
+    def record_late(self) -> None:
+        """An over-deadline delta admitted anyway (``admit_stale``)."""
+        self.total_deadline_misses += 1
+        self._window_misses += 1
+
+    def flush(self) -> dict[str, int]:
+        """Close the current window and return its totals."""
+        window = {
+            "dropped_steps": self._window_steps,
+            "dropped_bytes": self._window_bytes,
+            "deadline_misses": self._window_misses,
+        }
+        self._window_steps = 0
+        self._window_bytes = 0
+        self._window_misses = 0
+        return window

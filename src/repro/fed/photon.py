@@ -30,6 +30,7 @@ from ..utils.metrics import History
 from .aggregator import Aggregator
 from .engine import AsyncAggregator, RoundEngine
 from .client import LLMClient
+from .faults import DeadlinePolicy, FailureModel, FaultPolicy
 from .link import Link
 from .postprocess import PostProcessor
 from .sampler import AvailabilityModel, FullParticipation, UniformSampler
@@ -71,6 +72,12 @@ class Photon:
         Optional analytic wall-clock accounting (Appendix B.1).
     uptime:
         Client availability probability per round (1.0 = always on).
+    failure_model / fault_policy:
+        Crash injection and the aggregator's reaction to it (see
+        :mod:`repro.fed.faults`); both engines honor them — the async
+        engine retries, drops or aborts per completion event.  The
+        async deadline/drop knobs ride on ``fed_config``
+        (``deadline``, ``drop_policy``, ``adaptive_local_steps``).
     client_speed_spread:
         Per-client hardware/link heterogeneity: each client's compute
         and bandwidth slowdown is drawn log-uniformly from
@@ -90,6 +97,8 @@ class Photon:
                  comm_topology: str = "rar",
                  uptime: float = 1.0,
                  post_process: PostProcessor | None = None,
+                 failure_model: FailureModel | None = None,
+                 fault_policy: FaultPolicy | None = None,
                  weighted: bool = False,
                  merge_fn=None,
                  initial_state=None,
@@ -172,6 +181,8 @@ class Photon:
             merge_fn=merge_fn,
             initial_state=initial_state,
             max_workers=max_workers,
+            failure_model=failure_model,
+            fault_policy=fault_policy,
             init_seed=init_seed,
         )
         self.aggregator: RoundEngine
@@ -179,8 +190,16 @@ class Photon:
             # Unset knobs fall through to the engine's own defaults.
             if fed_config.staleness_alpha is not None:
                 engine_kwargs["staleness_alpha"] = fed_config.staleness_alpha
+            deadline = None
+            if fed_config.deadline is not None:
+                deadline = DeadlinePolicy(
+                    deadline_s=fed_config.deadline,
+                    drop_policy=fed_config.drop_policy or "drop",
+                )
             self.aggregator = AsyncAggregator(
                 buffer_size=fed_config.buffer_size or fed_config.clients_per_round,
+                deadline=deadline,
+                adaptive_local_steps=fed_config.adaptive_local_steps,
                 **engine_kwargs,
             )
         else:

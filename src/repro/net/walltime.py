@@ -147,6 +147,22 @@ class WallTimeModel:
     def bandwidth_factor(self, client_id: str) -> float:
         return self.client_bandwidth_factors.get(client_id, 1.0)
 
+    def adaptive_local_steps(self, client_id: str, nominal_steps: int) -> int:
+        """τ scaled down by the client's compute slowdown (min 1 step).
+
+        A client ``f`` times slower than nominal trains ``τ / f`` steps
+        so its cycle costs roughly the nominal client's Eq. 1 time —
+        the knob behind the async engine's ``adaptive_local_steps``.
+        The result is clamped to ``[1, nominal_steps]``: faster-than-
+        nominal clients (factors < 1) keep exactly ``nominal_steps``
+        rather than overrunning the globally synchronized LR-schedule
+        window of their round.
+        """
+        if nominal_steps < 1:
+            raise ValueError("nominal_steps must be >= 1")
+        scaled = int(round(nominal_steps / self.compute_factor(client_id)))
+        return max(1, min(nominal_steps, scaled))
+
     # ------------------------------------------------------------------
     # Equation 1
     # ------------------------------------------------------------------

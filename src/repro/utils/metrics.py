@@ -47,6 +47,11 @@ class RoundRecord:
     wall_time_s: float = 0.0
     failed_clients: list[str] = field(default_factory=list)
     retries: int = 0
+    # Deadline-policy accounting (async engine): work cancelled in the
+    # flush window, and late deltas admitted under ``admit_stale``.
+    dropped_steps: int = 0
+    dropped_bytes: int = 0
+    deadline_misses: int = 0
 
     @property
     def train_perplexity(self) -> float:

@@ -34,6 +34,9 @@ def history_to_dict(history: History, metadata: dict | None = None) -> dict:
             "comm_bytes_down": record.comm_bytes_down,
             "pseudo_grad_norm": _num(record.pseudo_grad_norm),
             "wall_time_s": _num(record.wall_time_s),
+            "dropped_steps": record.dropped_steps,
+            "dropped_bytes": record.dropped_bytes,
+            "deadline_misses": record.deadline_misses,
         })
     ppls = [r["val_perplexity"] for r in rounds
             if r["val_perplexity"] is not None]
@@ -43,6 +46,9 @@ def history_to_dict(history: History, metadata: dict | None = None) -> dict:
         "final_val_perplexity": ppls[-1] if ppls else None,
         "total_comm_bytes": history.total_comm_bytes,
         "total_wall_time_s": _num(sum(r["wall_time_s"] or 0.0 for r in rounds)),
+        "total_dropped_steps": sum(r["dropped_steps"] for r in rounds),
+        "total_dropped_bytes": sum(r["dropped_bytes"] for r in rounds),
+        "total_deadline_misses": sum(r["deadline_misses"] for r in rounds),
     }
     return {"metadata": metadata or {}, "summary": summary, "rounds": rounds}
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _warmup_for, build_parser, main
 
 
 class TestParser:
@@ -26,6 +26,98 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_fault_flags(self):
+        args = build_parser().parse_args(
+            ["train", "--mode", "async", "--deadline", "5.5",
+             "--drop-policy", "requeue", "--adaptive-local-steps",
+             "--crash-prob", "0.1"])
+        assert args.deadline == 5.5
+        assert args.drop_policy == "requeue"
+        assert args.adaptive_local_steps
+        assert args.crash_prob == 0.1
+
+    def test_drop_policy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--deadline", "5", "--drop-policy", "discard"])
+
+
+class TestWarmupSchedule:
+    """`--rounds 1 --local-steps 1` used to produce warmup == total
+    steps, which WarmupCosine rejects; warmup must stay strictly
+    below the total."""
+
+    def test_one_step_run_gets_zero_warmup(self):
+        assert _warmup_for(1) == 0
+
+    def test_short_runs_keep_warmup(self):
+        assert _warmup_for(2) == 1
+        assert _warmup_for(4) == 1
+        assert _warmup_for(8) == 2
+
+    @pytest.mark.parametrize("total", [1, 2, 3, 4, 5, 8, 64, 1000])
+    def test_warmup_always_below_total(self, total):
+        from repro.optim import WarmupCosine
+
+        warmup = _warmup_for(total)
+        assert 0 <= warmup < total
+        # The schedule construction that `repro train` performs.
+        sched = WarmupCosine(1e-3, warmup, total)
+        assert sched(0) > 0
+
+
+class TestUsageErrors:
+    """Config mistakes print a one-line usage error (exit code 2)
+    instead of a raw traceback."""
+
+    def expect_error(self, argv, capsys, needle):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"repro {argv[0]}: error:")
+        assert needle in err
+        assert len(err.strip().splitlines()) == 1  # one line, no traceback
+
+    def test_buffer_size_requires_async(self, capsys):
+        self.expect_error(["train", "--buffer-size", "2"], capsys,
+                          "buffer_size only applies to mode='async'")
+
+    def test_staleness_alpha_requires_async(self, capsys):
+        self.expect_error(["train", "--staleness-alpha", "0.5"], capsys,
+                          "staleness_alpha")
+
+    def test_deadline_requires_async(self, capsys):
+        self.expect_error(["train", "--deadline", "5"], capsys, "deadline")
+
+    def test_drop_policy_requires_deadline(self, capsys):
+        self.expect_error(
+            ["train", "--mode", "async", "--drop-policy", "drop"],
+            capsys, "drop_policy needs a deadline")
+
+    def test_adaptive_steps_require_async(self, capsys):
+        self.expect_error(["train", "--adaptive-local-steps"], capsys,
+                          "adaptive_local_steps")
+
+    def test_sampled_exceeding_population(self, capsys):
+        self.expect_error(["train", "--clients", "2", "--sampled", "4"],
+                          capsys, "exceeds")
+
+    def test_unknown_model_preset(self, capsys):
+        self.expect_error(["train", "--model", "900B"], capsys,
+                          "unknown model")
+
+    def test_straggler_spread_below_one(self, capsys):
+        self.expect_error(["train", "--straggler-spread", "0.5"], capsys,
+                          "client_speed_spread")
+
+    def test_impossible_deadline(self, capsys):
+        # Unit clock (no --walltime): every cycle costs 1 simulated
+        # second, so a 0.5 s deadline can never admit an update.
+        self.expect_error(
+            ["train", "--model", "tiny", "--clients", "2", "--local-steps",
+             "2", "--rounds", "1", "--batch-size", "2", "--mode", "async",
+             "--deadline", "0.5"],
+            capsys, "fastest client cycle")
 
 
 class TestCommands:
@@ -68,6 +160,27 @@ class TestCommands:
                      "--batch-size", "2"]) == 0
         out = capsys.readouterr().out
         assert "best perplexity" in out
+
+    @pytest.mark.slow
+    def test_train_single_step_run(self, capsys):
+        """Regression: --rounds 1 --local-steps 1 tripped the warmup
+        schedule edge (warmup == total steps)."""
+        assert main(["train", "--model", "tiny", "--clients", "2",
+                     "--local-steps", "1", "--rounds", "1",
+                     "--batch-size", "2"]) == 0
+        assert "best perplexity" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_train_fault_tolerant_async(self, capsys):
+        assert main(["train", "--model", "tiny", "--clients", "3",
+                     "--local-steps", "2", "--rounds", "2",
+                     "--batch-size", "2", "--mode", "async",
+                     "--walltime", "--straggler-spread", "3.0",
+                     "--deadline", "2.5", "--drop-policy", "drop",
+                     "--adaptive-local-steps", "--crash-prob", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "deadline        : 2.5 s (drop)" in out
+        assert "crashes" in out
 
     def test_diloco_micro(self, capsys):
         assert main(["diloco", "--model", "tiny", "--clients", "2",

@@ -197,6 +197,7 @@ class TestAsyncEngine:
     def test_failures_degrade_to_partial_participation(self):
         photon = make_photon("async", rounds=2)
         photon.aggregator.failure_model = FailureModel(scripted={(0, "client1")})
+        photon.aggregator.fault_policy = FaultPolicy(mode="partial")
         history = photon.train()
         assert "client1" in history.records[0].failed_clients
         assert len(history) == 2

@@ -16,7 +16,13 @@ from hypothesis import strategies as st
 from repro.config import ModelConfig, WallTimeConfig
 from repro.data import CharTokenizer, make_source
 from repro.data.stream import CachedTokenStream
-from repro.fed import FedAvg, ties_merge
+from repro.fed import (
+    DropLedger,
+    FedAvg,
+    PolynomialStaleness,
+    adaptive_step_weights,
+    ties_merge,
+)
 from repro.net import WallTimeModel
 from repro.nn import DecoderLM
 from repro.optim import WarmupCosine
@@ -164,6 +170,58 @@ class TestPayloadProperties:
         back = decode_state(encode_state(state, quantize_int8=True))
         bound = np.abs(state["w"]).max() / 127.0
         assert np.abs(back["w"] - state["w"]).max() <= bound * 0.51
+
+
+class TestFaultToleranceProperties:
+    @given(st.floats(0.0, 5.0), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_staleness_weight_monotone_in_staleness(self, alpha, s):
+        """More staleness never weighs more: w(s+1) <= w(s) <= 1."""
+        w = PolynomialStaleness(alpha)
+        assert 0.0 < w(s) <= 1.0
+        assert w(s + 1) <= w(s)
+
+    @given(st.lists(st.integers(1, 512), min_size=1, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_adaptive_step_weights_sum_to_one(self, steps):
+        """Steps-proportional weights are a probability vector, ordered
+        like the step counts."""
+        weights = adaptive_step_weights(steps)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+        order = sorted(range(len(steps)), key=lambda i: steps[i])
+        assert all(
+            weights[order[i]] <= weights[order[i + 1]] + 1e-12
+            for i in range(len(order) - 1)
+        )
+
+    @given(st.lists(
+        st.one_of(
+            st.tuples(st.just("drop"), st.integers(0, 100), st.integers(0, 10_000)),
+            st.tuples(st.just("late"), st.just(0), st.just(0)),
+            st.tuples(st.just("flush"), st.just(0), st.just(0)),
+        ),
+        max_size=40,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_drop_ledger_conserves_accounting(self, ops):
+        """Any interleaving of drops, late admits and flushes
+        partitions exactly into windows: window sums (plus the open
+        window) always equal the cumulative totals."""
+        ledger = DropLedger()
+        windows = []
+        for op, steps, nbytes in ops:
+            if op == "drop":
+                ledger.record_drop(steps, nbytes)
+            elif op == "late":
+                ledger.record_late()
+            else:
+                windows.append(ledger.flush())
+        windows.append(ledger.flush())  # close the open window
+        assert sum(w["dropped_steps"] for w in windows) == ledger.total_dropped_steps
+        assert sum(w["dropped_bytes"] for w in windows) == ledger.total_dropped_bytes
+        assert (sum(w["deadline_misses"] for w in windows)
+                == ledger.total_deadline_misses)
 
 
 class TestScheduleProperties:
