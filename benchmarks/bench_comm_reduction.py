@@ -78,7 +78,7 @@ def test_comm_reduction(run_once):
              f"{cell['factor']:.0f}x"]
             for tau, cell in result["analytic"].items()]
     print_table(
-        f"Headline: per-worker traffic for the 125M model, "
+        "Headline: per-worker traffic for the 125M model, "
         f"{ROUNDS_ANALYTIC} rounds x tau steps ({WORKERS} workers)",
         ["tau", "DDP (GB)", "Federated (GB)", "Reduction"],
         rows,

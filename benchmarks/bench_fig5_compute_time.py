@@ -69,7 +69,7 @@ def test_fig5_compute_time_tradeoff(run_once):
             rows.append(row)
         print_table(
             f"Figure 5: simulated wall time (s) to PPL={target} "
-            f"(paper targets 42/35)",
+            "(paper targets 42/35)",
             ["Global batch Bg"] + [f"tau={t}" for t in LOCAL_STEP_GRID],
             rows,
         )

@@ -113,7 +113,7 @@ def test_fig7_heterogeneity(run_once):
     floors = _floors()
     iid_ratio = results["IID 4 clients"][-1] / floors["iid"]
     non_iid_ratio = results["non-IID 4 clients"][-1] / floors["non_iid"]
-    print(f"\nfloor-normalized final perplexity: "
+    print("\nfloor-normalized final perplexity: "
           f"IID {iid_ratio:.2f}x floor ({floors['iid']:.2f}), "
           f"non-IID {non_iid_ratio:.2f}x floor ({floors['non_iid']:.2f})")
     assert non_iid_ratio <= iid_ratio * 1.5

@@ -1,0 +1,122 @@
+"""Compare a benchmark JSON artifact against its committed baseline.
+
+CI runs the ablation benchmarks on every PR, then gates on this
+script: a policy arm whose simulated wall time regressed more than
+``--threshold`` (default 15%) fails the job.  The simulated clock is
+deterministic given the seeds, so any drift is a real behavior change
+— either a bug, or an intentional change that should come with a
+refreshed baseline (regenerate the artifact and copy it over
+``benchmarks/baselines/``).
+
+Usage::
+
+    python benchmarks/check_regression.py ARTIFACT BASELINE \
+        [--threshold 0.15] [--metric wall_s]
+
+Exit status 0 when every arm is within the threshold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(artifact: dict, baseline: dict, metric: str,
+            threshold: float) -> tuple[list[str], list[str]]:
+    """Return ``(failures, report_lines)`` for the two result sets."""
+    failures: list[str] = []
+    lines: list[str] = []
+    base_results = baseline.get("results", {})
+    new_results = artifact.get("results", {})
+    if not base_results:
+        return ["baseline has no results"], lines
+    # Symmetric coverage: an arm only in the artifact is ungated work
+    # (someone added an arm without refreshing the baseline).
+    for name in new_results:
+        if name not in base_results:
+            failures.append(
+                f"arm {name!r} has no baseline entry — regenerate and "
+                "commit the baseline so the new arm is gated"
+            )
+    width = max(len(name) for name in base_results)
+    lines.append(f"{'arm'.ljust(width)}  {'baseline':>10}  {'current':>10}  delta")
+    for name, base in base_results.items():
+        if name not in new_results:
+            failures.append(f"arm {name!r} missing from the artifact")
+            continue
+        new = new_results[name]
+        if base.get("server_updates") != new.get("server_updates"):
+            failures.append(
+                f"arm {name!r}: server_updates changed "
+                f"({base.get('server_updates')} -> {new.get('server_updates')}) "
+                "— the benchmark semantics moved, refresh the baseline"
+            )
+            continue
+        old_v, new_v = base.get(metric), new.get(metric)
+        if old_v is None or new_v is None:
+            failures.append(f"arm {name!r}: metric {metric!r} missing")
+            continue
+        if old_v == 0 and new_v != 0:
+            # A zero baseline would make any relative delta vacuous —
+            # never let it silently disable the gate.
+            failures.append(
+                f"arm {name!r}: {metric} moved off a zero baseline "
+                f"(0 -> {new_v:.3g}); refresh the baseline deliberately"
+            )
+            continue
+        delta = (new_v - old_v) / old_v if old_v else 0.0
+        marker = ""
+        if delta > threshold:
+            marker = "  << REGRESSION"
+            failures.append(
+                f"arm {name!r}: {metric} regressed {delta:+.1%} "
+                f"({old_v:.3g} -> {new_v:.3g}, threshold {threshold:.0%})"
+            )
+        elif delta < -threshold:
+            # A big improvement is good news but stale-baseline news:
+            # surface it without failing.
+            marker = "  (improved - consider refreshing the baseline)"
+        lines.append(f"{name.ljust(width)}  {old_v:>10.3g}  {new_v:>10.3g}  "
+                     f"{delta:+7.1%}{marker}")
+    return failures, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on benchmark wall-time regressions vs a baseline")
+    parser.add_argument("artifact", type=Path,
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("baseline", type=Path,
+                        help="committed baseline JSON to compare against")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative regression (default 0.15)")
+    parser.add_argument("--metric", default="wall_s",
+                        help="per-arm metric to compare (default wall_s)")
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+    for path in (args.artifact, args.baseline):
+        if not path.is_file():
+            print(f"check_regression: {path} does not exist", file=sys.stderr)
+            return 1
+    artifact = json.loads(args.artifact.read_text())
+    baseline = json.loads(args.baseline.read_text())
+
+    failures, lines = compare(artifact, baseline, args.metric, args.threshold)
+    print(f"== {args.artifact.name}: {args.metric} vs {args.baseline} "
+          f"(threshold {args.threshold:.0%}) ==")
+    for line in lines:
+        print(line)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: no regression beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ Conventions
 
 from __future__ import annotations
 
-from repro.config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
+from repro.config import ModelConfig, OptimConfig, WallTimeConfig
 from repro.data import CachedTokenStream, SyntheticC4
 from repro.net import WallTimeModel, gbps_to_mbps
 

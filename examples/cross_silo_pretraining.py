@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import tempfile
 
-from repro.config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
+from repro.config import ModelConfig, OptimConfig, WallTimeConfig
 from repro.data import SyntheticC4, CachedTokenStream, partition_stream
 from repro.eval import default_suite, run_suite
 from repro.fed import (

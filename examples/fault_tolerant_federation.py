@@ -17,7 +17,7 @@ Run:
 
 from __future__ import annotations
 
-from repro.config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
+from repro.config import ModelConfig, OptimConfig, WallTimeConfig
 from repro.data import CachedTokenStream, SyntheticC4
 from repro.fed import Aggregator, FailureModel, FaultPolicy, LLMClient
 from repro.net import ClientProfile, FederationSimulator, WallTimeModel

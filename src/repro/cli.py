@@ -20,7 +20,6 @@ from .config import (
     PAPER_THROUGHPUTS,
     TINY_MODELS,
     FedConfig,
-    ModelConfig,
     OptimConfig,
     WallTimeConfig,
     model_config,
@@ -68,15 +67,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="async: simulated seconds a client cycle may take "
                             "before the drop policy applies")
     train.add_argument("--drop-policy", default=None,
-                       choices=["drop", "requeue", "admit_stale"],
+                       choices=["drop", "requeue", "admit_partial",
+                                "admit_stale"],
                        help="async: what happens to over-deadline work "
-                            "(default with --deadline: drop)")
+                            "(default with --deadline: drop; admit_partial "
+                            "salvages the finished steps)")
     train.add_argument("--adaptive-local-steps", action="store_true",
                        help="async: slow clients train proportionally fewer "
                             "steps per pull (needs a wall-time model)")
     train.add_argument("--crash-prob", type=float, default=0.0,
                        help="per-(client, round) crash probability "
                             "(seeded fault injection)")
+    train.add_argument("--selection", default="random",
+                       choices=["random", "fastest", "utility"],
+                       help="client-selection policy (random = legacy "
+                            "behavior; utility = Oort/REFL-style "
+                            "deadline-aware score with a fairness floor)")
+    train.add_argument("--jitter", type=float, default=0.0,
+                       help="async: scale of seeded lognormal per-cycle "
+                            "duration noise (0 = deterministic clock)")
+    train.add_argument("--exploration", type=float, default=1.0,
+                       help="utility selection: weight of the recency bonus "
+                            "that keeps slow clients from starving")
 
     diloco = sub.add_parser("diloco", help="run the DiLoCo baseline")
     diloco.add_argument("--model", default="tiny")
@@ -123,7 +135,9 @@ def _cmd_train(args) -> int:
                     mode=args.mode, buffer_size=args.buffer_size,
                     staleness_alpha=args.staleness_alpha,
                     deadline=args.deadline, drop_policy=args.drop_policy,
-                    adaptive_local_steps=args.adaptive_local_steps)
+                    adaptive_local_steps=args.adaptive_local_steps,
+                    selection=args.selection, jitter=args.jitter,
+                    exploration=args.exploration)
     optim = OptimConfig(max_lr=args.max_lr,
                         warmup_steps=_warmup_for(fed.total_client_steps),
                         schedule_steps=fed.total_client_steps,
@@ -150,6 +164,9 @@ def _cmd_train(args) -> int:
               f"{record.train_perplexity:>9.2f}")
     result = photon.result()
     print(f"engine          : {fed.mode}")
+    if fed.selection != "random" or fed.jitter > 0:
+        print(f"scheduling      : selection={fed.selection} "
+              f"jitter={fed.jitter:g} exploration={fed.exploration:g}")
     print(f"best perplexity : {result.best_perplexity:.2f}")
     print(f"comm bytes      : {result.total_comm_bytes:,}")
     if walltime_config is not None:
@@ -160,12 +177,11 @@ def _cmd_train(args) -> int:
         print(f"crashes         : {failure_model.failures_injected} "
               f"({failed} dropped, {retries} retried)")
     if fed.deadline is not None:
-        dropped_steps = sum(r.dropped_steps for r in history)
-        dropped_bytes = sum(r.dropped_bytes for r in history)
-        misses = sum(r.deadline_misses for r in history)
         print(f"deadline        : {fed.deadline:g} s "
-              f"({fed.drop_policy or 'drop'}); dropped {dropped_steps} steps / "
-              f"{dropped_bytes:,} bytes, {misses} late admits")
+              f"({fed.drop_policy or 'drop'}); dropped {result.dropped_steps} "
+              f"steps / {result.dropped_bytes:,} bytes, "
+              f"{result.salvaged_steps} salvaged, "
+              f"{result.deadline_misses} late admits")
     return 0
 
 

@@ -15,7 +15,7 @@ down to run in seconds, used by tests, examples and benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = [
     "ModelConfig",
@@ -125,10 +125,20 @@ class FedConfig:
     ``mode="sync"``): ``deadline`` bounds a client's simulated
     pull–train–push cycle in seconds and ``drop_policy`` selects the
     enforcement (``"drop"`` cancel + idle, ``"requeue"`` cancel +
-    immediate re-issue, ``"admit_stale"`` measure only — see
+    immediate re-issue, ``"admit_partial"`` cancel but upload the
+    finished steps, ``"admit_stale"`` measure only — see
     :class:`~repro.fed.faults.DeadlinePolicy`);
     ``adaptive_local_steps`` lets slow clients train proportionally
     fewer steps per pull, renormalized in the aggregation weighting.
+
+    Scheduling knobs: ``selection`` picks the
+    :class:`~repro.fed.scheduler.ClientScheduler` policy (``"random"``
+    is the legacy behavior, bit-exact; ``"fastest"`` ranks by
+    predicted cycle time; ``"utility"`` adds deadline feasibility,
+    recency and a fairness floor, with ``exploration`` scaling the
+    recency bonus); ``jitter`` (async-only) is the scale of seeded
+    lognormal per-cycle duration noise (0 = deterministic clock,
+    bit-exact).
     """
 
     population: int = 8
@@ -146,6 +156,9 @@ class FedConfig:
     deadline: float | None = None
     drop_policy: str | None = None
     adaptive_local_steps: bool = False
+    selection: str = "random"
+    jitter: float = 0.0
+    exploration: float = 1.0
 
     def __post_init__(self) -> None:
         if self.clients_per_round > self.population:
@@ -174,13 +187,28 @@ class FedConfig:
         # Canonical list lives in repro.fed.faults.DROP_POLICIES
         # (duplicated here: config must not import the fed package).
         if self.drop_policy is not None and self.drop_policy not in (
-                "drop", "requeue", "admit_stale"):
+                "drop", "requeue", "admit_partial", "admit_stale"):
             raise ValueError(
-                "drop_policy must be one of ('drop', 'requeue', 'admit_stale'), "
-                f"got {self.drop_policy!r}"
+                "drop_policy must be one of ('drop', 'requeue', "
+                f"'admit_partial', 'admit_stale'), got {self.drop_policy!r}"
             )
         if self.adaptive_local_steps and self.mode != "async":
             raise ValueError("adaptive_local_steps only applies to mode='async'")
+        # Canonical list lives in repro.fed.scheduler.SELECTION_POLICIES.
+        if self.selection not in ("random", "fastest", "utility"):
+            raise ValueError(
+                "selection must be one of ('random', 'fastest', 'utility'), "
+                f"got {self.selection!r}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {self.jitter}")
+        if self.jitter > 0 and self.mode != "async":
+            raise ValueError("jitter only applies to mode='async' (the sync "
+                             "barrier has no per-cycle clock)")
+        if self.exploration < 0:
+            raise ValueError(
+                f"exploration must be non-negative, got {self.exploration}"
+            )
 
     @property
     def participation(self) -> float:

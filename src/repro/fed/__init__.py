@@ -39,6 +39,7 @@ from .sampler import (
     FullParticipation,
     UniformSampler,
 )
+from .scheduler import SELECTION_POLICIES, ClientScheduler
 from .server_opt import (
     FedAdam,
     FedAvg,
@@ -75,6 +76,8 @@ __all__ = [
     "UniformSampler",
     "FullParticipation",
     "AvailabilityModel",
+    "ClientScheduler",
+    "SELECTION_POLICIES",
     "PostProcessor",
     "Identity",
     "Compose",

@@ -32,6 +32,16 @@ that outlive a simulated wall-time deadline (with per-flush
 dropped-work accounting in a :class:`~repro.fed.faults.DropLedger`),
 and ``adaptive_local_steps`` lets slow clients train proportionally
 fewer steps per pull, normalized in the aggregation weighting.
+
+Selection is *predictive* rather than reactive: both engines route
+client selection through a :class:`~repro.fed.scheduler.ClientScheduler`
+(``random`` keeps the legacy behavior bit-exactly; ``fastest`` and
+``utility`` rank clients by predicted cycle time, deadline
+feasibility, recency and a fairness floor), per-cycle durations can
+carry seeded lognormal noise (:class:`~repro.net.walltime.JitterModel`)
+so borderline clients are probabilistically rather than permanently
+dropped, and ``drop_policy="admit_partial"`` salvages the steps a
+deadline-cancelled client did finish instead of discarding them.
 """
 
 from __future__ import annotations
@@ -46,7 +56,7 @@ import numpy as np
 from ..config import ModelConfig
 from ..data.stream import BatchStream
 from ..eval.perplexity import evaluate_perplexity
-from ..net.walltime import WallTimeModel
+from ..net.walltime import JitterModel, WallTimeModel
 from ..nn import DecoderLM
 from ..utils.metrics import History, RoundRecord, aggregate_metrics
 from ..utils.serialization import StateDict, tree_mean, tree_norm
@@ -55,6 +65,7 @@ from .client import LLMClient
 from .faults import ClientFailure, DeadlinePolicy, DropLedger, FailureModel, FaultPolicy
 from .link import Link, Message
 from .sampler import AvailabilityModel, ClientSampler, FullParticipation
+from .scheduler import ClientScheduler
 from .server_opt import FedAvg, ServerOpt
 from .types import ClientUpdate, RoundInfo
 
@@ -64,7 +75,75 @@ __all__ = [
     "AsyncAggregator",
     "PolynomialStaleness",
     "adaptive_step_weights",
+    "check_deadline_feasible",
 ]
+
+
+def _planned_steps_for(walltime: WallTimeModel | None, client_id: str,
+                       nominal_steps: int, adaptive: bool) -> int:
+    """Local steps a dispatch to ``client_id`` would plan."""
+    if adaptive and walltime is not None:
+        return walltime.adaptive_local_steps(client_id, nominal_steps)
+    return nominal_steps
+
+
+def _cycle_salvage_steps(walltime: WallTimeModel | None, deadline_s: float,
+                         client_id: str, planned: int, duration: float) -> int:
+    """Whole local steps a cancelled cycle finishes *and uploads* by
+    the deadline, on its realized (possibly jittered) timeline: the
+    download and upload keep their share of the cycle, training stops
+    early enough for the upload to land at the deadline."""
+    if walltime is None:
+        return 0
+    timing = walltime.client_timing(client_id, planned)
+    if timing.total_s <= 0 or timing.compute_s <= 0:
+        return 0
+    realized = duration / timing.total_s  # jitter factor of this cycle
+    per_step = timing.compute_s * realized / planned
+    budget = deadline_s - timing.comm_s * realized
+    if budget <= 0 or per_step <= 0:
+        return 0
+    return max(0, min(planned - 1, int(budget / per_step)))
+
+
+def check_deadline_feasible(deadline: DeadlinePolicy | None,
+                            walltime: WallTimeModel | None,
+                            client_ids: list[str], local_steps: int,
+                            adaptive_local_steps: bool = False) -> None:
+    """Fail fast on a deadline nobody can meet: every request would be
+    cancelled and the federation could never flush.  Uses base
+    (unjittered) durations — jitter can rescue a borderline cycle, but
+    a federation that needs luck to flush is still a config error, and
+    the check must not consume RNG.  Under ``admit_partial`` the run
+    is viable as long as *some* client can salvage at least one step.
+    """
+    if deadline is None or not deadline.enforcing:
+        return
+
+    def duration(cid: str) -> float:
+        if walltime is None:
+            return 1.0
+        steps = _planned_steps_for(walltime, cid, local_steps,
+                                   adaptive_local_steps)
+        return walltime.client_timing(cid, steps).total_s
+
+    fastest = min(duration(cid) for cid in client_ids)
+    if fastest <= deadline.deadline_s:
+        return
+    if deadline.drop_policy == "admit_partial" and any(
+            _cycle_salvage_steps(
+                walltime, deadline.deadline_s, cid,
+                _planned_steps_for(walltime, cid, local_steps,
+                                   adaptive_local_steps),
+                duration(cid),
+            ) >= 1
+            for cid in client_ids):
+        return
+    raise ValueError(
+        f"deadline_s={deadline.deadline_s} is shorter than the "
+        f"fastest client cycle ({fastest:.3g}s): no update could "
+        "ever be admitted"
+    )
 
 
 def adaptive_step_weights(steps: list[int]) -> list[float]:
@@ -89,9 +168,11 @@ class _InFlight(NamedTuple):
 
     message: Message
     version: int  # global version the client pulled
-    steps: int  # local steps this request plans to train
+    steps: int  # local steps this cycle actually trains
+    planned: int  # local steps the request originally asked for
     late: bool  # cycle outlives the deadline (any drop policy)
     timed_out: bool  # cancelled at the deadline instead of completing
+    salvaged: bool  # admit_partial: cancelled, but finished steps admitted
 
 
 class PolynomialStaleness:
@@ -142,6 +223,7 @@ class RoundEngine:
                  fault_policy: FaultPolicy | None = None,
                  merge_fn=None,
                  initial_state: StateDict | None = None,
+                 scheduler: ClientScheduler | None = None,
                  init_seed: int = 0):
         if not clients:
             raise ValueError("the federation needs at least one client")
@@ -149,6 +231,9 @@ class RoundEngine:
         self.clients = dict(clients)
         self.server_opt = server_opt or FedAvg(lr=1.0)
         self.sampler = sampler or FullParticipation()
+        # Selection policy; the default ``random`` scheduler reproduces
+        # the pre-scheduler behavior bit-exactly.
+        self.scheduler = scheduler or ClientScheduler()
         self.val_stream = val_stream
         self.link = link or Link()
         self.availability = availability
@@ -262,7 +347,17 @@ class SyncAggregator(RoundEngine):
         population = sorted(self.clients)
         if self.availability is not None:
             population = self.availability.available(population, round_idx)
-        selected = self.sampler.sample(population, round_idx)
+        # Selection routes through the scheduler: ``random`` returns
+        # the sampler's draw untouched; ranked policies keep its size
+        # but pick the members (the barrier is paced by the slowest).
+        selected = self.scheduler.select_cohort(
+            population, round_idx,
+            default=self.sampler.sample(population, round_idx),
+            duration_fn=lambda cid: (
+                self.walltime.client_timing(cid, local_steps).total_s
+                if self.walltime is not None else 1.0
+            ),
+        )
 
         bytes_up_before = self.link.bytes_received
         bytes_down_before = self.link.bytes_sent
@@ -394,20 +489,38 @@ class AsyncAggregator(RoundEngine):
         eventually participates.
     deadline:
         Optional :class:`~repro.fed.faults.DeadlinePolicy`.  Under an
-        *enforcing* policy (``drop``/``requeue``) a request whose
-        simulated cycle would outlive ``deadline_s`` is cancelled at
-        the deadline — the abandoned steps and broadcast bytes land in
-        :attr:`drop_ledger` and the flush record — and the server
-        force-flushes a non-empty buffer at most ``deadline_s`` after
-        the previous flush instead of waiting for ``buffer_size``
-        arrivals.  ``admit_stale`` cancels nothing: late deltas arrive
-        with their usual staleness discount and only the miss count is
-        recorded.
+        *enforcing* policy (``drop``/``requeue``/``admit_partial``) a
+        request whose simulated cycle would outlive ``deadline_s`` is
+        cancelled at the deadline — the abandoned steps and broadcast
+        bytes land in :attr:`drop_ledger` and the flush record — and
+        the server force-flushes a non-empty buffer at most
+        ``deadline_s`` after the previous flush instead of waiting for
+        ``buffer_size`` arrivals.  ``admit_partial`` additionally
+        salvages a cancelled cycle: the client uploads the whole local
+        steps it finished before the deadline, the partial delta is
+        merged with steps-proportional weights, and the ledger splits
+        the cycle into salvaged and dropped steps (a cycle too slow to
+        finish even one step degrades to a plain drop).
+        ``admit_stale`` cancels nothing: late deltas arrive with their
+        usual staleness discount and only the miss count is recorded.
     adaptive_local_steps:
         Slow clients (per the wall-time model's compute factors) train
         ``τ / slowdown`` steps per pull, and deltas are merged with
         steps-proportional weights (:func:`adaptive_step_weights`).
         Without a wall-time model this is a no-op.
+    jitter:
+        Optional :class:`~repro.net.walltime.JitterModel`: every
+        dispatched cycle's duration is scaled by a seeded lognormal
+        factor, so borderline clients are probabilistically — not
+        permanently — cancelled by a deadline.  ``None`` (or scale 0)
+        keeps the deterministic clock bit-exactly.
+    scheduler:
+        :class:`~repro.fed.scheduler.ClientScheduler` the idle pool is
+        refilled through.  The default ``random`` policy replays the
+        legacy FIFO rotation; ``utility`` prefers clients whose
+        *predicted* cycle fits the deadline (with recency/exploration
+        terms and a fairness floor), turning stragglers from a
+        cancel-after-dispatch cost into a selection-time decision.
 
     Crash handling (``failure_model``/``fault_policy``): failure draws
     are serialized in completion-batch order, so histories are
@@ -428,7 +541,8 @@ class AsyncAggregator(RoundEngine):
                  staleness_fn=None, staleness_alpha: float = 0.5,
                  concurrency: int | None = None,
                  deadline: DeadlinePolicy | None = None,
-                 adaptive_local_steps: bool = False, **kwargs):
+                 adaptive_local_steps: bool = False,
+                 jitter: JitterModel | None = None, **kwargs):
         super().__init__(*args, **kwargs)
         if buffer_size is not None and buffer_size < 1:
             raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
@@ -439,6 +553,7 @@ class AsyncAggregator(RoundEngine):
         self.staleness_fn = staleness_fn or PolynomialStaleness(staleness_alpha)
         self.deadline = deadline
         self.adaptive_local_steps = adaptive_local_steps
+        self.jitter = jitter
         self.drop_ledger = DropLedger()
 
         self.version = 0  # server updates applied so far
@@ -466,42 +581,71 @@ class AsyncAggregator(RoundEngine):
     # ------------------------------------------------------------------
     # Dispatch / completion machinery
     # ------------------------------------------------------------------
-    def _client_duration_s(self, client_id: str, local_steps: int) -> float:
+    def _base_duration_s(self, client_id: str, local_steps: int) -> float:
+        """Deterministic (unjittered) cycle duration — also the
+        scheduler's prediction of a pull–train–push cycle."""
         if self.walltime is None:
             return 1.0
         return self.walltime.client_timing(client_id, local_steps).total_s
 
+    def _client_duration_s(self, client_id: str, local_steps: int) -> float:
+        """Realized cycle duration: the prediction times one jitter
+        draw (consumed exactly once per dispatch, in dispatch order)."""
+        duration = self._base_duration_s(client_id, local_steps)
+        if self.jitter is not None:
+            duration *= self.jitter.factor()
+        return duration
+
+    def _predict_cycle_s(self, client_id: str) -> float:
+        """Predicted pull+train+push time of the client's *next* cycle
+        (planned steps, no jitter) — what selection policies rank on."""
+        return self._base_duration_s(client_id, self._planned_steps(client_id))
+
     def _planned_steps(self, client_id: str) -> int:
         """Local steps for the next pull: nominal, or scaled down by
         the client's compute slowdown under ``adaptive_local_steps``."""
-        if self.adaptive_local_steps and self.walltime is not None:
-            return self.walltime.adaptive_local_steps(client_id, self._local_steps)
-        return self._local_steps
+        return _planned_steps_for(self.walltime, client_id,
+                                  self._local_steps, self.adaptive_local_steps)
+
+    def _salvageable_steps(self, client_id: str, planned: int,
+                           duration: float) -> int:
+        """Whole local steps this cancelled cycle finishes and uploads
+        by the deadline (see :func:`_cycle_salvage_steps`)."""
+        return _cycle_salvage_steps(self.walltime, self.deadline.deadline_s,
+                                    client_id, planned, duration)
 
     def _dispatch(self, client_id: str) -> None:
         """Send the current global model to ``client_id`` and schedule
         its completion event — or, when an enforcing deadline already
-        knows the cycle cannot finish in time, its cancellation event
-        at the deadline."""
-        steps = self._planned_steps(client_id)
+        knows the cycle cannot finish in time, its cancellation (or
+        ``admit_partial`` salvage) event at the deadline."""
+        planned = self._planned_steps(client_id)
+        duration = self._client_duration_s(client_id, planned)
+        steps = planned
+        late = (self.deadline is not None
+                and duration > self.deadline.deadline_s)
+        timed_out = late and self.deadline.enforcing
+        salvaged = False
+        if timed_out:
+            if self.deadline.drop_policy == "admit_partial":
+                done = self._salvageable_steps(client_id, planned, duration)
+                if done >= 1:
+                    steps, salvaged, timed_out = done, True, False
+            duration = self.deadline.deadline_s
         message = self.link.send_state(
             self.global_state, sender="agg", receiver=client_id,
             metadata={"version": self.version, "local_steps": steps},
         )
-        duration = self._client_duration_s(client_id, steps)
-        late = (self.deadline is not None
-                and duration > self.deadline.deadline_s)
-        timed_out = late and self.deadline.enforcing
-        if timed_out:
-            duration = self.deadline.deadline_s
         self._inflight[client_id] = _InFlight(
-            message, self.version, steps, late, timed_out
+            message, self.version, steps, planned, late, timed_out, salvaged
         )
         heapq.heappush(self._events, (self.clock_s + duration, self._seq, client_id))
         self._seq += 1
+        self.scheduler.note_selected(client_id, self.version)
 
     def _refill(self, slots: int) -> None:
-        """Issue up to ``slots`` dispatches from the idle queue.
+        """Issue up to ``slots`` dispatches from the idle queue, with
+        the *scheduler* choosing who gets them.
 
         Sporadically-unavailable clients (uptime < 1) are *deferred*:
         they stay idle and get a fresh availability draw at the next
@@ -520,15 +664,17 @@ class AsyncAggregator(RoundEngine):
                 )
             else:
                 reachable = set(self._idle)
-            for _ in range(len(self._idle)):
-                if slots == 0:
-                    break
-                client_id = self._idle.popleft()
-                if client_id in reachable:
-                    self._dispatch(client_id)
-                    slots -= 1
-                else:
-                    self._idle.append(client_id)
+            # The engine's deadline is the feasibility fallback when
+            # the scheduler was built without one of its own.
+            dispatch, leftover = self.scheduler.select_async(
+                list(self._idle), reachable, slots, self.version,
+                self._predict_cycle_s,
+                deadline_s=(self.deadline.deadline_s
+                            if self.deadline is not None else None),
+            )
+            self._idle = deque(leftover)
+            for client_id in dispatch:
+                self._dispatch(client_id)
         if not self._events and self._idle:
             # Nobody reachable and nothing in flight: keep one client
             # training (mirrors AvailabilityModel's floor).
@@ -555,19 +701,8 @@ class AsyncAggregator(RoundEngine):
             self.buffer_size = len(selected)
         if self.concurrency is None:
             self.concurrency = len(selected)
-        if self.deadline is not None and self.deadline.enforcing:
-            # Fail fast on a deadline nobody can meet: every request
-            # would be cancelled and the federation could never flush.
-            fastest = min(
-                self._client_duration_s(cid, self._planned_steps(cid))
-                for cid in population
-            )
-            if fastest > self.deadline.deadline_s:
-                raise ValueError(
-                    f"deadline_s={self.deadline.deadline_s} is shorter than the "
-                    f"fastest client cycle ({fastest:.3g}s): no update could "
-                    "ever be admitted"
-                )
+        check_deadline_feasible(self.deadline, self.walltime, population,
+                                self._local_steps, self.adaptive_local_steps)
         # Sampled cohort trains first; the rest of the population joins
         # the round-robin idle queue behind it.
         self._idle = deque(selected + [c for c in population if c not in selected])
@@ -643,7 +778,7 @@ class AsyncAggregator(RoundEngine):
         to the availability-gated idle pool per the drop policy."""
         entry = self._inflight.pop(client_id)
         self.drop_ledger.record_drop(
-            entry.steps, entry.message.nbytes + Link.METADATA_OVERHEAD
+            entry.planned, entry.message.nbytes + Link.METADATA_OVERHEAD
         )
         if self.deadline.drop_policy == "requeue":
             self._dispatch(client_id)
@@ -668,11 +803,17 @@ class AsyncAggregator(RoundEngine):
             else {k: v * np.float32(w) for k, v in u.delta.items()}
             for u, w in zip(updates, weights)
         ]
-        # Adaptive steps: deltas trained with fewer steps weigh less
-        # (steps-proportional weights; uniform when steps are equal).
+        # Steps-proportional weights whenever cycles can train unequal
+        # steps — adaptive local steps, or admit_partial salvaging a
+        # cancelled cycle's finished prefix.  Uniform when steps are
+        # equal, so the sync==async anchor is untouched.
+        unequal_steps = self.adaptive_local_steps or (
+            self.deadline is not None
+            and self.deadline.drop_policy == "admit_partial"
+        )
         merge_weights = (
             adaptive_step_weights([u.num_steps for u in updates])
-            if self.adaptive_local_steps else None
+            if unequal_steps else None
         )
         pseudo_grad = self._merge(updates, deltas=scaled, weights=merge_weights)
         self.global_state = self.server_opt.step(self.global_state, pseudo_grad)
@@ -703,6 +844,7 @@ class AsyncAggregator(RoundEngine):
             dropped_steps=window["dropped_steps"],
             dropped_bytes=window["dropped_bytes"],
             deadline_misses=window["deadline_misses"],
+            salvaged_steps=window["salvaged_steps"],
         )
         self._failed_pending.clear()
         self._window_retries = 0
@@ -797,12 +939,18 @@ class AsyncAggregator(RoundEngine):
                 if self._retry_crash(client_id):
                     retried.add(client_id)
             survivors = [cid for cid in completed if cid not in doomed]
-            # admit_stale: measure the deltas that outlived the
-            # deadline but are admitted anyway (serial — the drop
-            # ledger is not thread-safe; under an enforcing policy a
-            # late request is timed out, never a survivor).
+            # Ledger entries for surviving-but-late cycles (serial —
+            # the drop ledger is not thread-safe): admit_partial
+            # salvages split the planned steps into done/dropped,
+            # admit_stale late admits only count a miss.  Under drop/
+            # requeue a late request is timed out, never a survivor.
             for client_id in survivors:
-                if self._inflight[client_id].late:
+                entry = self._inflight[client_id]
+                if entry.salvaged:
+                    self.drop_ledger.record_salvage(
+                        entry.steps, entry.planned - entry.steps
+                    )
+                elif entry.late:
                     self.drop_ledger.record_late()
             if self.max_workers > 1 and len(survivors) > 1:
                 with ThreadPoolExecutor(max_workers=self.max_workers) as pool:

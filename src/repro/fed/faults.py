@@ -13,11 +13,12 @@ This module makes those semantics testable:
   a wall-time penalty), or ``strict`` (raise);
 * :class:`DeadlinePolicy` — how the *asynchronous* engine treats
   pull–train–push cycles that exceed a simulated wall-time deadline:
-  cancel and drop, cancel and requeue, or admit the late delta with
-  its normal staleness discount (accounting only);
+  cancel and drop, cancel and requeue, cancel but salvage the finished
+  steps (``admit_partial``), or admit the late delta with its normal
+  staleness discount (accounting only);
 * :class:`DropLedger` — per-flush accounting of the work a deadline
-  cancels (local steps and broadcast bytes), so reports can show what
-  the policy cost.
+  cancels (local steps and broadcast bytes) or salvages, so reports
+  can show what the policy cost.
 
 The :class:`~repro.fed.aggregator.Aggregator` consumes the first two
 via its ``failure_model``/``fault_policy`` arguments; the async
@@ -42,7 +43,7 @@ __all__ = [
 ]
 
 FAULT_POLICIES = ("partial", "retry_round", "strict")
-DROP_POLICIES = ("drop", "requeue", "admit_stale")
+DROP_POLICIES = ("drop", "requeue", "admit_partial", "admit_stale")
 
 
 class ClientFailure(RuntimeError):
@@ -142,14 +143,21 @@ class DeadlinePolicy:
 
     ``drop_policy`` selects the enforcement:
 
-    ``drop``         cancel the request at the deadline; the client
-                     abandons its work and rejoins the idle pool
-                     (availability-gated re-dispatch);
-    ``requeue``      cancel at the deadline and immediately re-issue
-                     the request against the *current* global model;
-    ``admit_stale``  never cancel: the late delta arrives naturally
-                     and is admitted with its usual staleness
-                     discount — the deadline only *measures* misses.
+    ``drop``           cancel the request at the deadline; the client
+                       abandons its work and rejoins the idle pool
+                       (availability-gated re-dispatch);
+    ``requeue``        cancel at the deadline and immediately re-issue
+                       the request against the *current* global model;
+    ``admit_partial``  cancel training at the deadline but upload the
+                       local steps the client *did* finish: the
+                       partial delta is admitted (steps-proportional
+                       merge weight) and the ledger splits the cycle
+                       into salvaged and dropped steps; a cycle too
+                       slow to finish even one step degrades to
+                       ``drop``;
+    ``admit_stale``    never cancel: the late delta arrives naturally
+                       and is admitted with its usual staleness
+                       discount — the deadline only *measures* misses.
     """
 
     deadline_s: float
@@ -169,20 +177,30 @@ class DeadlinePolicy:
 
 @dataclass
 class DropLedger:
-    """Running account of what a deadline policy cancels.
+    """Running account of what a deadline policy cancels or salvages.
 
     Drops accrue into an open *window*; :meth:`flush` closes the
     window (one per server update) and returns its totals, so every
     recorded drop lands in exactly one flush — the per-flush windows
     always sum to the cumulative totals.
+
+    ``admit_partial`` cycles are recorded through
+    :meth:`record_salvage`, which splits the cancelled cycle's planned
+    steps into the *salvaged* part (trained, uploaded, admitted) and
+    the *dropped* remainder — so for any mix of policies
+    ``dropped + salvaged`` always equals the steps of every cancelled
+    cycle (:attr:`total_cancelled_cycles` counts them).
     """
 
     total_dropped_steps: int = 0
     total_dropped_bytes: int = 0
     total_deadline_misses: int = 0
+    total_salvaged_steps: int = 0
+    total_cancelled_cycles: int = 0
     _window_steps: int = 0
     _window_bytes: int = 0
     _window_misses: int = 0
+    _window_salvaged: int = 0
 
     def record_drop(self, steps: int, nbytes: int) -> None:
         """A cancelled cycle: ``steps`` of training and ``nbytes`` of
@@ -191,8 +209,23 @@ class DropLedger:
             raise ValueError("dropped steps/bytes must be non-negative")
         self.total_dropped_steps += steps
         self.total_dropped_bytes += nbytes
+        self.total_cancelled_cycles += 1
         self._window_steps += steps
         self._window_bytes += nbytes
+
+    def record_salvage(self, steps_done: int, steps_dropped: int) -> None:
+        """A cancelled cycle whose finished steps were admitted
+        (``admit_partial``): ``steps_done`` survive, ``steps_dropped``
+        are the unfinished remainder."""
+        if steps_done < 1:
+            raise ValueError("a salvaged cycle must have finished >= 1 step")
+        if steps_dropped < 0:
+            raise ValueError("dropped remainder must be non-negative")
+        self.total_salvaged_steps += steps_done
+        self.total_dropped_steps += steps_dropped
+        self.total_cancelled_cycles += 1
+        self._window_salvaged += steps_done
+        self._window_steps += steps_dropped
 
     def record_late(self) -> None:
         """An over-deadline delta admitted anyway (``admit_stale``)."""
@@ -205,8 +238,10 @@ class DropLedger:
             "dropped_steps": self._window_steps,
             "dropped_bytes": self._window_bytes,
             "deadline_misses": self._window_misses,
+            "salvaged_steps": self._window_salvaged,
         }
         self._window_steps = 0
         self._window_bytes = 0
         self._window_misses = 0
+        self._window_salvaged = 0
         return window

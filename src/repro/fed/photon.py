@@ -22,18 +22,19 @@ from dataclasses import dataclass
 from ..config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
 from ..data.sharding import assign_shards
 from ..data.stream import BatchStream, CachedTokenStream, MixedStream
-from ..data.synthetic import MarkovSource, SyntheticC4, SyntheticPile
+from ..data.synthetic import SyntheticC4, SyntheticPile
 from ..net.comm import federated_volume, reduction_factor
-from ..net.walltime import WallTimeModel
+from ..net.walltime import JitterModel, WallTimeModel
 from ..optim import LRSchedule, WarmupCosine
 from ..utils.metrics import History
 from .aggregator import Aggregator
-from .engine import AsyncAggregator, RoundEngine
+from .engine import AsyncAggregator, RoundEngine, check_deadline_feasible
 from .client import LLMClient
 from .faults import DeadlinePolicy, FailureModel, FaultPolicy
 from .link import Link
 from .postprocess import PostProcessor
 from .sampler import AvailabilityModel, FullParticipation, UniformSampler
+from .scheduler import ClientScheduler
 from .server_opt import make_server_opt
 
 __all__ = ["Photon", "PhotonResult"]
@@ -41,7 +42,12 @@ __all__ = ["Photon", "PhotonResult"]
 
 @dataclass
 class PhotonResult:
-    """Summary of a completed Photon run."""
+    """Summary of a completed Photon run.
+
+    The deadline ledger (dropped/salvaged work, late admits) is
+    surfaced here so callers don't have to walk the round records;
+    all four fields are 0 for runs without a deadline policy.
+    """
 
     history: History
     total_comm_bytes: int
@@ -49,6 +55,10 @@ class PhotonResult:
     tokens_processed: int
     final_perplexity: float
     best_perplexity: float
+    dropped_steps: int = 0
+    dropped_bytes: int = 0
+    deadline_misses: int = 0
+    salvaged_steps: int = 0
 
 
 class Photon:
@@ -84,6 +94,12 @@ class Photon:
         ``[1, spread]`` (requires ``walltime_config``; 1.0 keeps the
         federation equipollent).  This is what makes the async engine's
         event clock interesting — stragglers no longer pace a barrier.
+
+    Scheduling rides on ``fed_config``: ``selection`` picks the
+    :class:`~repro.fed.scheduler.ClientScheduler` policy (``random``
+    is the legacy behavior, bit-exact), ``exploration`` scales the
+    ``utility`` recency bonus, and ``jitter`` adds seeded lognormal
+    per-cycle duration noise to the async clock.
     """
 
     def __init__(self, model_config: ModelConfig, fed_config: FedConfig,
@@ -129,6 +145,36 @@ class Photon:
             self.optim_config.alpha_min,
         )
 
+        # Client ids are fixed by the corpus shape, so the wall-time
+        # model and the deadline feasibility check can run *before*
+        # the (much more expensive) data build — an impossible
+        # deadline fails in milliseconds, not after caching every
+        # shard stream.
+        client_ids = (
+            sorted(corpus) if isinstance(corpus, dict)
+            else sorted(f"client{i}" for i in range(fed_config.population))
+        )
+        walltime = None
+        if walltime_config is not None:
+            if client_speed_spread > 1.0:
+                walltime = WallTimeModel.heterogeneous(
+                    walltime_config, client_ids,
+                    compute_spread=client_speed_spread,
+                    bandwidth_spread=client_speed_spread,
+                    seed=fed_config.seed,
+                )
+            else:
+                walltime = WallTimeModel(walltime_config)
+        deadline = None
+        if fed_config.mode == "async" and fed_config.deadline is not None:
+            deadline = DeadlinePolicy(
+                deadline_s=fed_config.deadline,
+                drop_policy=fed_config.drop_policy or "drop",
+            )
+            check_deadline_feasible(deadline, walltime, client_ids,
+                                    fed_config.local_steps,
+                                    fed_config.adaptive_local_steps)
+
         client_streams, val_stream = self._build_data(
             corpus, heterogeneity, num_shards, data_seed
         )
@@ -153,17 +199,11 @@ class Photon:
         availability = (
             AvailabilityModel(uptime, seed=fed_config.seed) if uptime < 1.0 else None
         )
-        walltime = None
-        if walltime_config is not None:
-            if client_speed_spread > 1.0:
-                walltime = WallTimeModel.heterogeneous(
-                    walltime_config, sorted(clients),
-                    compute_spread=client_speed_spread,
-                    bandwidth_spread=client_speed_spread,
-                    seed=fed_config.seed,
-                )
-            else:
-                walltime = WallTimeModel(walltime_config)
+        scheduler = ClientScheduler(
+            fed_config.selection,
+            deadline_s=fed_config.deadline,
+            exploration=fed_config.exploration,
+        )
         engine_kwargs = dict(
             model_config=model_config,
             clients=clients,
@@ -183,6 +223,7 @@ class Photon:
             max_workers=max_workers,
             failure_model=failure_model,
             fault_policy=fault_policy,
+            scheduler=scheduler,
             init_seed=init_seed,
         )
         self.aggregator: RoundEngine
@@ -190,16 +231,12 @@ class Photon:
             # Unset knobs fall through to the engine's own defaults.
             if fed_config.staleness_alpha is not None:
                 engine_kwargs["staleness_alpha"] = fed_config.staleness_alpha
-            deadline = None
-            if fed_config.deadline is not None:
-                deadline = DeadlinePolicy(
-                    deadline_s=fed_config.deadline,
-                    drop_policy=fed_config.drop_policy or "drop",
-                )
             self.aggregator = AsyncAggregator(
                 buffer_size=fed_config.buffer_size or fed_config.clients_per_round,
                 deadline=deadline,
                 adaptive_local_steps=fed_config.adaptive_local_steps,
+                jitter=(JitterModel(fed_config.jitter, seed=fed_config.seed)
+                        if fed_config.jitter > 0 else None),
                 **engine_kwargs,
             )
         else:
@@ -279,6 +316,10 @@ class Photon:
             tokens_processed=sum(c.tokens_processed for c in self.clients.values()),
             final_perplexity=ppls[-1] if ppls else float("nan"),
             best_perplexity=min(ppls) if ppls else float("nan"),
+            dropped_steps=sum(r.dropped_steps for r in history),
+            dropped_bytes=sum(r.dropped_bytes for r in history),
+            deadline_misses=sum(r.deadline_misses for r in history),
+            salvaged_steps=sum(r.salvaged_steps for r in history),
         )
 
     # ------------------------------------------------------------------

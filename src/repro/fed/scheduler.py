@@ -1,0 +1,255 @@
+"""Client selection: which idle clients get the next dispatch slots.
+
+PR 2 made the async engine *react* to stragglers — cancel an
+over-deadline cycle after it was already dispatched — which still
+wastes the dispatch slot, the broadcast bytes and up to ``deadline_s``
+of simulated time per doomed request.  This module moves the decision
+before dispatch: the engines route every selection through a
+:class:`ClientScheduler` carrying one of three policies:
+
+``random``
+    Exactly the pre-scheduler behavior, kept bit-exact as the
+    regression anchor: the async engine's FIFO round-robin over the
+    idle pool (unreachable clients rotate to the back), the sync
+    engine's configured :class:`~repro.fed.sampler.ClientSampler`.
+
+``fastest``
+    Greedy shortest-predicted-cycle-first, using the wall-time model's
+    per-client pull+train+push prediction.  Maximum short-term
+    throughput, but slow clients (and their data) are starved.
+
+``utility``
+    Oort/REFL-style score combining a throughput term (predicted
+    cycle time), a recency term (clients unselected for many server
+    versions score higher — ``exploration`` scales it), and deadline
+    awareness: clients whose predicted cycle exceeds the per-cycle
+    deadline are deprioritized instead of being dispatched and
+    cancelled.  A hard fairness floor prevents starvation: any client
+    unselected for ``fairness_every_k`` server versions is due and
+    jumps the queue, so every client participates at least once per
+    ``K`` flushes (its cycles may still be salvaged or dropped by the
+    deadline policy — the floor guarantees the *attempt*).
+
+The scheduler is deliberately deterministic given its inputs: it is
+only ever called from the engines' serial sections, so histories stay
+rerun-identical for any ``max_workers`` — the same invariant the rest
+of the simulation maintains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["ClientScheduler", "SELECTION_POLICIES"]
+
+SELECTION_POLICIES = ("random", "fastest", "utility")
+
+#: Recency normalizer when the fairness floor is disabled.
+_DEFAULT_HORIZON = 8
+
+#: Bound on the diagnostic selection log (one entry per dispatch, so
+#: a long simulation must not grow memory linearly forever).
+_SELECTION_LOG_MAXLEN = 65_536
+
+DurationFn = Callable[[str], float]
+
+
+class ClientScheduler:
+    """Pluggable selection policy shared by both round engines.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`SELECTION_POLICIES`.
+    deadline_s:
+        The per-cycle deadline the async engine enforces, if any; the
+        ``utility`` policy treats a client whose predicted cycle
+        exceeds it as infeasible (selected only via the fairness
+        floor or when nothing feasible remains).
+    exploration:
+        Weight of the ``utility`` recency term relative to the
+        throughput term (0 = pure fastest-feasible, larger values
+        rotate slow clients in sooner).
+    fairness_every_k:
+        Hard floor: a client unselected for this many server versions
+        is selected ahead of any scoring.  ``None`` disables the
+        floor (useful to demonstrate starvation).
+    """
+
+    def __init__(self, policy: str = "random", *,
+                 deadline_s: float | None = None,
+                 exploration: float = 1.0,
+                 fairness_every_k: int | None = 8):
+        if policy not in SELECTION_POLICIES:
+            raise ValueError(
+                f"selection policy must be one of {SELECTION_POLICIES}, "
+                f"got {policy!r}"
+            )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+        if exploration < 0:
+            raise ValueError(f"exploration must be non-negative, got {exploration}")
+        if fairness_every_k is not None and fairness_every_k < 1:
+            raise ValueError(
+                f"fairness_every_k must be >= 1 or None, got {fairness_every_k}"
+            )
+        self.policy = policy
+        self.deadline_s = deadline_s
+        self.exploration = exploration
+        self.fairness_every_k = fairness_every_k
+        #: server version at each client's most recent selection.
+        self.last_selected: dict[str, int] = {}
+        #: total dispatches per client (includes retries/requeues).
+        self.selections: dict[str, int] = {}
+        #: recent (version, client) selections, in order — test/debug
+        #: aid, bounded so long simulations don't grow without limit.
+        self.selection_log: deque[tuple[int, str]] = deque(
+            maxlen=_SELECTION_LOG_MAXLEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ClientScheduler(policy={self.policy!r}, "
+                f"deadline_s={self.deadline_s}, "
+                f"exploration={self.exploration}, "
+                f"fairness_every_k={self.fairness_every_k})")
+
+    # ------------------------------------------------------------------
+    def note_selected(self, client_id: str, version: int) -> None:
+        """Record a dispatch (the engines call this on every issue,
+        including requeues and crash retries, so the fairness clock
+        reflects actual work given to the client)."""
+        self.last_selected[client_id] = version
+        self.selections[client_id] = self.selections.get(client_id, 0) + 1
+        self.selection_log.append((version, client_id))
+
+    def _waited(self, client_id: str, version: int) -> int:
+        """Server versions since the client was last selected (clients
+        never seen count as waiting since before version 0)."""
+        return version - self.last_selected.get(client_id, -1)
+
+    def _due(self, candidates: Iterable[str], version: int) -> list[str]:
+        """Fairness floor: clients owed a selection, longest-waiting
+        first (ties broken by id for determinism)."""
+        if self.fairness_every_k is None:
+            return []
+        due = [c for c in candidates
+               if self._waited(c, version) >= self.fairness_every_k]
+        return sorted(due, key=lambda c: (-self._waited(c, version), c))
+
+    def utility(self, client_id: str, version: int, cycle_s: float,
+                fastest_s: float) -> float:
+        """Oort/REFL-style score: throughput term + recency term.
+
+        ``fastest_s / cycle_s`` is in (0, 1] (1 for the fastest
+        client); the recency term grows linearly with the versions a
+        client has waited, saturating at the fairness horizon, scaled
+        by ``exploration``.
+        """
+        speed = fastest_s / cycle_s if cycle_s > 0 else 1.0
+        horizon = self.fairness_every_k or _DEFAULT_HORIZON
+        recency = min(self._waited(client_id, version), horizon) / horizon
+        return speed + self.exploration * recency
+
+    # ------------------------------------------------------------------
+    def _rank(self, candidates: list[str], version: int,
+              duration_fn: DurationFn,
+              deadline_s: float | None) -> list[str]:
+        """Order ``candidates`` best-first under the active policy."""
+        durations = {c: duration_fn(c) for c in candidates}
+        if self.policy == "fastest":
+            return sorted(candidates, key=lambda c: (durations[c], c))
+        # utility: fairness-floor clients first, then feasible clients
+        # by score, then deadline-infeasible ones (never dispatched
+        # while a feasible alternative exists).
+        due = self._due(candidates, version)
+        due_set = set(due)
+        rest = [c for c in candidates if c not in due_set]
+        fastest_s = min(durations.values(), default=1.0)
+
+        def score_key(c: str):
+            return (-self.utility(c, version, durations[c], fastest_s), c)
+
+        if deadline_s is not None:
+            feasible = sorted((c for c in rest
+                               if durations[c] <= deadline_s), key=score_key)
+            infeasible = sorted((c for c in rest
+                                 if durations[c] > deadline_s), key=score_key)
+            return due + feasible + infeasible
+        return due + sorted(rest, key=score_key)
+
+    def _effective_deadline(self, fallback_s: float | None) -> float | None:
+        """The scheduler's own ``deadline_s`` (explicit user choice)
+        wins; otherwise the engine's per-call fallback applies.  The
+        engine never writes into the scheduler, so one instance is
+        not silently reconfigured by the engine it is attached to."""
+        return self.deadline_s if self.deadline_s is not None else fallback_s
+
+    # ------------------------------------------------------------------
+    # Async engine: which idle clients fill the open dispatch slots.
+    # ------------------------------------------------------------------
+    def select_async(self, idle: Sequence[str], reachable: set[str],
+                     slots: int, version: int, duration_fn: DurationFn,
+                     deadline_s: float | None = None,
+                     ) -> tuple[list[str], list[str]]:
+        """Choose up to ``slots`` clients to dispatch now.
+
+        Returns ``(dispatch, leftover)``: the clients to issue work
+        to, in dispatch order, and the new idle-pool order.  The
+        ``random`` policy replays the legacy FIFO rotation bit-exactly
+        (unreachable clients move to the back of the pool); the ranked
+        policies preserve the relative idle order of everyone not
+        dispatched.  ``deadline_s`` is the engine's per-cycle deadline,
+        used as the feasibility bound when the scheduler was built
+        without one of its own.
+        """
+        if slots <= 0 or not idle:
+            return [], list(idle)
+        if self.policy == "random":
+            # Legacy loop, verbatim semantics: walk the queue once,
+            # dispatch reachable clients until the slots run out,
+            # rotate unreachable ones to the back.
+            queue = list(idle)
+            dispatch: list[str] = []
+            deferred: list[str] = []
+            scanned = 0
+            while queue and scanned < len(idle):
+                if len(dispatch) == slots:
+                    break
+                client_id = queue.pop(0)
+                scanned += 1
+                if client_id in reachable:
+                    dispatch.append(client_id)
+                else:
+                    deferred.append(client_id)
+            return dispatch, queue + deferred
+        candidates = [c for c in idle if c in reachable]
+        ranked = self._rank(candidates, version, duration_fn,
+                            self._effective_deadline(deadline_s))
+        dispatch = ranked[:slots]
+        chosen = set(dispatch)
+        leftover = [c for c in idle if c not in chosen]
+        return dispatch, leftover
+
+    # ------------------------------------------------------------------
+    # Sync engine: which clients form the round's cohort.
+    # ------------------------------------------------------------------
+    def select_cohort(self, population: Sequence[str], round_idx: int,
+                      default: list[str],
+                      duration_fn: DurationFn) -> list[str]:
+        """Choose the synchronous round's cohort.
+
+        ``default`` is the configured sampler's draw — the ``random``
+        policy returns it untouched (bit-exact legacy behavior); the
+        ranked policies keep its size but pick the members, which in a
+        barrier engine directly bounds the round's wall time (the
+        slowest member paces everyone).
+        """
+        if self.policy == "random":
+            cohort = list(default)
+        else:
+            cohort = self._rank(list(population), round_idx, duration_fn,
+                                self._effective_deadline(None))[:len(default)]
+            cohort.sort()  # rounds treat the cohort as a set
+        for client_id in cohort:
+            self.note_selected(client_id, round_idx)
+        return cohort

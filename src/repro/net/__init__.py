@@ -14,7 +14,13 @@ from .topology import (
     FederationTopology,
     paper_topology,
 )
-from .walltime import CommTopology, RoundTiming, WallTimeModel, gbps_to_mbps
+from .walltime import (
+    CommTopology,
+    JitterModel,
+    RoundTiming,
+    WallTimeModel,
+    gbps_to_mbps,
+)
 
 __all__ = [
     "FederationTopology",
@@ -24,6 +30,7 @@ __all__ = [
     "WallTimeModel",
     "RoundTiming",
     "CommTopology",
+    "JitterModel",
     "gbps_to_mbps",
     "CommVolume",
     "ddp_volume",

@@ -30,6 +30,7 @@ from ..config import WallTimeConfig
 
 __all__ = [
     "CommTopology",
+    "JitterModel",
     "RoundTiming",
     "WallTimeModel",
     "gbps_to_mbps",
@@ -86,6 +87,43 @@ class RoundTiming:
     @property
     def comm_fraction(self) -> float:
         return self.comm_s / self.total_s if self.total_s > 0 else 0.0
+
+
+class JitterModel:
+    """Seeded multiplicative lognormal noise on per-cycle durations.
+
+    The deterministic wall-time model makes a borderline client's fate
+    binary: its cycle either always fits a deadline or never does.
+    Real federations are noisier — thermal throttling, shared links,
+    background load — so each dispatched pull–train–push cycle draws a
+    factor ``exp(N(0, scale))`` (median 1, lognormal) that scales its
+    duration.  With jitter a borderline client is *probabilistically*
+    dropped, which is what makes deadline-aware selection a statistical
+    rather than a combinatorial problem.
+
+    ``scale = 0`` is the exact identity: :meth:`factor` returns 1.0
+    without consuming any RNG state, so an unjittered run is
+    reproduced bit-exactly (a tested regression anchor).
+
+    Draws are consumed in dispatch order, which the async engine
+    serializes — histories are rerun-identical for any ``max_workers``.
+    """
+
+    def __init__(self, scale: float = 0.0, seed: int = 0):
+        if scale < 0:
+            raise ValueError(f"jitter scale must be non-negative, got {scale}")
+        self.scale = scale
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def factor(self) -> float:
+        """Multiplicative duration factor for the next cycle."""
+        if self.scale == 0.0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self.scale)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JitterModel(scale={self.scale}, seed={self.seed})"
 
 
 class WallTimeModel:

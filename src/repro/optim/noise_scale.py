@@ -26,7 +26,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..nn import DecoderLM
-from ..tensor import Parameter
 
 __all__ = ["NoiseScaleEstimate", "gradient_noise_scale", "measure_noise_scale"]
 

@@ -11,7 +11,7 @@ gradients and optimizer state with the largest power-of-two batch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = [
     "GPUSpec",

@@ -89,7 +89,6 @@ class TensorParallelEngine:
     # ------------------------------------------------------------------
     def _shard_block(self, block) -> dict:
         """Distribute one block's weights across workers."""
-        d = self.config.d_model
         qkv_w = block.attn.qkv.weight.data  # (d, 3d) laid out [q|k|v]
         qkv_b = block.attn.qkv.bias.data
         # Column-split each of q, k, v by head groups, then re-pack

@@ -48,10 +48,13 @@ class RoundRecord:
     failed_clients: list[str] = field(default_factory=list)
     retries: int = 0
     # Deadline-policy accounting (async engine): work cancelled in the
-    # flush window, and late deltas admitted under ``admit_stale``.
+    # flush window, late deltas admitted under ``admit_stale``, and
+    # finished steps of cancelled cycles admitted under
+    # ``admit_partial``.
     dropped_steps: int = 0
     dropped_bytes: int = 0
     deadline_misses: int = 0
+    salvaged_steps: int = 0
 
     @property
     def train_perplexity(self) -> float:

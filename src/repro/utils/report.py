@@ -37,6 +37,7 @@ def history_to_dict(history: History, metadata: dict | None = None) -> dict:
             "dropped_steps": record.dropped_steps,
             "dropped_bytes": record.dropped_bytes,
             "deadline_misses": record.deadline_misses,
+            "salvaged_steps": record.salvaged_steps,
         })
     ppls = [r["val_perplexity"] for r in rounds
             if r["val_perplexity"] is not None]
@@ -49,25 +50,51 @@ def history_to_dict(history: History, metadata: dict | None = None) -> dict:
         "total_dropped_steps": sum(r["dropped_steps"] for r in rounds),
         "total_dropped_bytes": sum(r["dropped_bytes"] for r in rounds),
         "total_deadline_misses": sum(r["deadline_misses"] for r in rounds),
+        "total_salvaged_steps": sum(r["salvaged_steps"] for r in rounds),
     }
     return {"metadata": metadata or {}, "summary": summary, "rounds": rounds}
 
 
 def format_markdown(history: History, title: str = "Run report") -> str:
-    """Render the history as a markdown table."""
-    lines = [f"# {title}", "",
-             "| round | val PPL | train loss | clients | failed | comm (KB) |",
-             "|---|---|---|---|---|---|"]
+    """Render the history as a markdown table.
+
+    The deadline ledger (dropped/salvaged steps, late admits) only
+    earns its columns when some round actually recorded it — an
+    undisturbed run keeps the compact table.
+    """
+    with_ledger = any(
+        r.dropped_steps or r.salvaged_steps or r.deadline_misses
+        for r in history
+    )
+    header = "| round | val PPL | train loss | clients | failed | comm (KB) |"
+    rule = "|---|---|---|---|---|---|"
+    if with_ledger:
+        header = header + " dropped | salvaged | late |"
+        rule = rule + "---|---|---|"
+    lines = [f"# {title}", "", header, rule]
     for record in history:
         comm_kb = (record.comm_bytes_up + record.comm_bytes_down) / 1024
-        lines.append(
+        row = (
             f"| {record.round_idx} | {record.val_perplexity:.2f} | "
             f"{record.train_loss:.3f} | {len(record.clients)} | "
             f"{len(record.failed_clients)} | {comm_kb:.0f} |"
         )
+        if with_ledger:
+            row += (f" {record.dropped_steps} | {record.salvaged_steps} | "
+                    f"{record.deadline_misses} |")
+        lines.append(row)
     if len(history):
-        lines += ["", f"Best validation perplexity: "
+        lines += ["", "Best validation perplexity: "
                   f"**{history.best_perplexity():.2f}**"]
+        if with_ledger:
+            lines += [
+                "",
+                f"Deadline ledger: {sum(r.dropped_steps for r in history)} "
+                f"steps dropped, {sum(r.salvaged_steps for r in history)} "
+                f"salvaged, {sum(r.deadline_misses for r in history)} late "
+                f"admits, {sum(r.dropped_bytes for r in history):,} bytes "
+                "wasted."
+            ]
     return "\n".join(lines)
 
 

@@ -1,0 +1,126 @@
+"""The CI benchmark-regression gate (`benchmarks/check_regression.py`).
+
+Imported by path (the benchmarks directory is not a package) so the
+comparison logic is unit-tested without spawning subprocesses.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).parent.parent / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def _payload(wall_s: float, updates: int = 5) -> dict:
+    return {"results": {"arm": {"wall_s": wall_s, "server_updates": updates}}}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        failures, lines = check_regression.compare(
+            _payload(10.9), _payload(10.0), "wall_s", 0.15)
+        assert failures == []
+        assert any("+9.0%" in line for line in lines)
+
+    def test_regression_beyond_threshold_fails(self):
+        failures, _ = check_regression.compare(
+            _payload(12.0), _payload(10.0), "wall_s", 0.15)
+        assert len(failures) == 1
+        assert "regressed" in failures[0]
+
+    def test_improvement_never_fails(self):
+        failures, lines = check_regression.compare(
+            _payload(5.0), _payload(10.0), "wall_s", 0.15)
+        assert failures == []
+        assert any("refreshing the baseline" in line for line in lines)
+
+    def test_missing_arm_fails(self):
+        failures, _ = check_regression.compare(
+            {"results": {}}, _payload(10.0), "wall_s", 0.15)
+        assert any("missing" in f for f in failures)
+
+    def test_unbaselined_artifact_arm_fails(self):
+        """The gate is symmetric: a new benchmark arm without a
+        committed baseline entry must not ship ungated."""
+        artifact = {"results": {"arm": {"wall_s": 10.0, "server_updates": 5},
+                                "new-arm": {"wall_s": 1.0,
+                                            "server_updates": 5}}}
+        failures, _ = check_regression.compare(
+            artifact, _payload(10.0), "wall_s", 0.15)
+        assert any("no baseline entry" in f for f in failures)
+
+    def test_changed_server_updates_fails(self):
+        failures, _ = check_regression.compare(
+            _payload(10.0, updates=7), _payload(10.0, updates=5),
+            "wall_s", 0.15)
+        assert any("server_updates" in f for f in failures)
+
+    def test_zero_baseline_never_disables_the_gate(self):
+        failures, _ = check_regression.compare(
+            _payload(1000.0), _payload(0.0), "wall_s", 0.15)
+        assert any("zero baseline" in f for f in failures)
+        # Both zero is a legitimate no-op.
+        failures, _ = check_regression.compare(
+            _payload(0.0), _payload(0.0), "wall_s", 0.15)
+        assert failures == []
+
+    def test_empty_baseline_fails(self):
+        failures, _ = check_regression.compare(
+            _payload(10.0), {"results": {}}, "wall_s", 0.15)
+        assert failures == ["baseline has no results"]
+
+
+class TestMain:
+    def _write(self, tmp_path: Path, name: str, payload: dict) -> Path:
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_exit_zero_on_match(self, tmp_path, capsys):
+        art = self._write(tmp_path, "a.json", _payload(10.0))
+        base = self._write(tmp_path, "b.json", _payload(10.0))
+        assert check_regression.main([str(art), str(base)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        art = self._write(tmp_path, "a.json", _payload(13.0))
+        base = self._write(tmp_path, "b.json", _payload(10.0))
+        assert check_regression.main([str(art), str(base)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_custom_threshold(self, tmp_path):
+        art = self._write(tmp_path, "a.json", _payload(13.0))
+        base = self._write(tmp_path, "b.json", _payload(10.0))
+        assert check_regression.main(
+            [str(art), str(base), "--threshold", "0.5"]) == 0
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        base = self._write(tmp_path, "b.json", _payload(10.0))
+        assert check_regression.main(
+            [str(tmp_path / "nope.json"), str(base)]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_bad_threshold_is_usage_error(self, tmp_path):
+        art = self._write(tmp_path, "a.json", _payload(10.0))
+        with pytest.raises(SystemExit):
+            check_regression.main([str(art), str(art), "--threshold", "0"])
+
+    def test_committed_baselines_are_valid(self):
+        """The baselines CI compares against must stay parseable and
+        carry the compared metric."""
+        for name in ("selection_ablation.json", "fault_ablation.json"):
+            path = (Path(__file__).parent.parent / "benchmarks" /
+                    "baselines" / name)
+            payload = json.loads(path.read_text())
+            assert payload["results"], name
+            for arm in payload["results"].values():
+                assert "wall_s" in arm and "server_updates" in arm

@@ -148,7 +148,7 @@ class TestCommands:
         overlapped = capsys.readouterr().out
 
         def total(text):
-            line = [l for l in text.splitlines() if "total wall" in l][0]
+            line = [ln for ln in text.splitlines() if "total wall" in ln][0]
             return float(line.split(":")[1].split("h")[0])
 
         assert total(overlapped) <= total(plain)

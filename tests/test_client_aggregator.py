@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
+from repro.config import ModelConfig, OptimConfig, WallTimeConfig
 from repro.data import CachedTokenStream, SyntheticC4, partition_stream
 from repro.fed import (
     Aggregator,

@@ -12,7 +12,6 @@ from repro.config import (
     PAPER_THROUGHPUTS,
     TINY_MODELS,
     FedConfig,
-    ModelConfig,
     OptimConfig,
     model_config,
 )

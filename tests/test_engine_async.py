@@ -246,6 +246,9 @@ class TestAsyncEngine:
         assert len(history) == 2
         assert np.isfinite(history.val_perplexities).all()
 
+    # Tier-2: uptime paths stay covered in tier-1 by the cheaper
+    # test_uptime_run_still_trains.
+    @pytest.mark.slow
     def test_deferred_concurrency_recovers(self):
         """Unavailable clients shrink the in-flight pool only until the
         next availability draw — deferred slots are re-offered."""

@@ -71,7 +71,7 @@ class TestDropLedger:
         ledger.record_drop(2, 50)
         first = ledger.flush()
         assert first == {"dropped_steps": 6, "dropped_bytes": 150,
-                         "deadline_misses": 0}
+                         "deadline_misses": 0, "salvaged_steps": 0}
         ledger.record_late()
         second = ledger.flush()
         assert second["deadline_misses"] == 1
@@ -79,9 +79,29 @@ class TestDropLedger:
         assert ledger.total_dropped_steps == 6
         assert ledger.total_dropped_bytes == 150
         assert ledger.total_deadline_misses == 1
+        assert ledger.total_cancelled_cycles == 2
         # A closed ledger flushes empty windows.
         assert ledger.flush() == {"dropped_steps": 0, "dropped_bytes": 0,
-                                  "deadline_misses": 0}
+                                  "deadline_misses": 0, "salvaged_steps": 0}
+
+    def test_salvage_splits_cancelled_cycles(self):
+        ledger = DropLedger()
+        ledger.record_salvage(3, 5)
+        ledger.record_salvage(1, 0)
+        window = ledger.flush()
+        assert window == {"dropped_steps": 5, "dropped_bytes": 0,
+                          "deadline_misses": 0, "salvaged_steps": 4}
+        assert ledger.total_salvaged_steps == 4
+        assert ledger.total_dropped_steps == 5
+        assert ledger.total_cancelled_cycles == 2
+        # Conservation: dropped + salvaged covers every cancelled step.
+        assert ledger.total_dropped_steps + ledger.total_salvaged_steps == 9
+
+    def test_salvage_validation(self):
+        with pytest.raises(ValueError):
+            DropLedger().record_salvage(0, 4)  # nothing finished = a drop
+        with pytest.raises(ValueError):
+            DropLedger().record_salvage(2, -1)
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -131,6 +151,9 @@ class TestAsyncDeadline:
         assert (sum(r.dropped_bytes for r in history)
                 + open_window["dropped_bytes"] == ledger.total_dropped_bytes)
 
+    # Tier-2: the same claim now gates every PR via the CI
+    # bench-regression job (bench_fault_ablation.py asserts it).
+    @pytest.mark.slow
     def test_drop_faster_than_admit_stale_under_stragglers(self):
         """The headline claim: enforcing the deadline reaches the same
         number of server updates in less simulated wall time than
@@ -156,6 +179,9 @@ class TestAsyncDeadline:
         )
         assert all(r.wall_time_s <= 3.0 + fastest + 1e-9 for r in history)
 
+    # Tier-2: the requeue arm gates every PR via the CI
+    # bench-regression job; the invariants run nightly.
+    @pytest.mark.slow
     def test_requeue_reissues_immediately(self):
         """requeue keeps the cancelled client in flight (fresh pull at
         the deadline) instead of parking it in the idle queue."""
@@ -171,16 +197,25 @@ class TestAsyncDeadline:
         assert len(requeue.aggregator._inflight) >= 1
 
     def test_impossible_deadline_rejected(self):
-        photon = make_photon(deadline=0.01, drop_policy="drop")
+        # The feasibility check fails fast at construction, before the
+        # (expensive) data build — not only at train() time.
         with pytest.raises(ValueError, match="fastest client cycle"):
-            photon.train()
+            make_photon(deadline=0.01, drop_policy="drop")
 
     def test_impossible_deadline_on_unit_clock(self):
         # Without a wall-time model every cycle costs one unit.
-        photon = make_photon(deadline=0.5, drop_policy="drop",
-                             walltime_config=None, spread=1.0)
         with pytest.raises(ValueError, match="fastest client cycle"):
-            photon.train()
+            make_photon(deadline=0.5, drop_policy="drop",
+                        walltime_config=None, spread=1.0)
+
+    def test_impossible_deadline_rejected_by_engine(self):
+        """Direct engine users (no Photon pre-flight) still fail fast
+        at the first run_round."""
+        photon = make_photon(rounds=1)
+        agg = photon.aggregator
+        agg.deadline = DeadlinePolicy(deadline_s=0.01, drop_policy="drop")
+        with pytest.raises(ValueError, match="fastest client cycle"):
+            agg.run_round(0, 2)
 
     def test_deadline_none_trace_untouched(self):
         """The equivalence guard: building the engine with all fault
@@ -191,6 +226,9 @@ class TestAsyncDeadline:
         assert trace(a.train()) == trace(b.train())
         assert a.aggregator.drop_ledger.total_dropped_steps == 0
 
+    # Tier-2: rerun-determinism is also anchored by the cheaper
+    # test_engine_async/test_scheduler determinism tests.
+    @pytest.mark.slow
     def test_deterministic_reruns(self):
         a = make_photon(uptime=0.7, deadline=3.0, drop_policy="drop")
         b = make_photon(uptime=0.7, deadline=3.0, drop_policy="drop")
@@ -247,6 +285,7 @@ class TestAsyncCrashRouting:
         with pytest.raises(ClientFailure):
             photon.train()
 
+    @pytest.mark.slow  # rerun-determinism also held by test_deterministic_reruns
     def test_random_crashes_rerun_identical(self):
         def run():
             photon = make_photon(
@@ -262,6 +301,7 @@ class TestAsyncCrashRouting:
         assert ([r.failed_clients for r in ha]
                 == [r.failed_clients for r in hb])
 
+    @pytest.mark.slow  # tier-1 keeps the scheduler/async max_workers anchors
     def test_max_workers_invariant_under_faults(self):
         """Failure draws are serialized in completion-batch order, so
         the history is identical for any thread-pool width."""

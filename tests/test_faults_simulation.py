@@ -22,7 +22,6 @@ from repro.net import ClientProfile, FederationSimulator
 from repro.nn import DecoderLM
 from repro.optim import (
     SGD,
-    AdamW,
     ConstantLR,
     GradientAccumulator,
     gradient_noise_scale,

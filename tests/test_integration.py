@@ -13,7 +13,7 @@ import pytest
 
 from repro.config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
 from repro.data import CachedTokenStream, MixedStream, SyntheticC4, SyntheticPile
-from repro.eval import BigramTask, evaluate_perplexity, score_task
+from repro.eval import BigramTask, score_task
 from repro.fed import (
     Aggregator,
     CheckpointManager,
@@ -32,7 +32,7 @@ from repro.fed import (
 from repro.net import WallTimeModel
 from repro.nn import DecoderLM, InferenceEngine
 from repro.optim import ConstantLR, WarmupCosine, federated_schedule_steps
-from repro.utils import history_to_dict, save_report, state_to_vector
+from repro.utils import save_report, state_to_vector
 
 CFG = ModelConfig("int", n_blocks=1, d_model=16, n_heads=2, vocab_size=32, seq_len=16)
 OPTIM = OptimConfig(max_lr=4e-3, warmup_steps=2, schedule_steps=128,

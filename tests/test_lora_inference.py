@@ -27,7 +27,7 @@ from repro.nn import (
     merge_lora,
 )
 from repro.optim import AdamW
-from repro.tensor import Tensor
+
 
 CFG = ModelConfig("micro", n_blocks=2, d_model=16, n_heads=2, vocab_size=32, seq_len=24)
 OPTIM = OptimConfig(max_lr=3e-3, warmup_steps=2, schedule_steps=64, batch_size=4,

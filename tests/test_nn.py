@@ -14,7 +14,6 @@ from repro.nn import (
     Embedding,
     LayerNorm,
     Linear,
-    Module,
     alibi_slopes,
 )
 from repro.nn.attention import _alibi_bias, _causal_bias

@@ -100,6 +100,32 @@ class TestReporting:
         assert sum(line.startswith("| 2 |") for line in md.splitlines()) == 1
         assert "**20.00**" in md
 
+    def test_markdown_omits_ledger_when_clean(self):
+        """An undisturbed run keeps the compact table — no ledger
+        columns, no ledger summary line."""
+        md = format_markdown(self.make_history())
+        assert "salvaged" not in md
+        assert "Deadline ledger" not in md
+
+    def test_markdown_surfaces_drop_ledger(self):
+        """Runs with deadline activity grow dropped/salvaged/late
+        columns and a totals line (the ROADMAP follow-up: the JSON
+        report had the ledger, the md table did not)."""
+        history = self.make_history()
+        history.records[1].dropped_steps = 8
+        history.records[1].dropped_bytes = 4096
+        history.records[2].salvaged_steps = 5
+        history.records[2].deadline_misses = 1
+        md = format_markdown(history)
+        header = md.splitlines()[2]
+        assert "dropped | salvaged | late |" in header
+        assert "| 8 | 0 | 0 |" in md  # round 1's ledger cells
+        assert "| 0 | 5 | 1 |" in md  # round 2's ledger cells
+        assert "Deadline ledger: 8 steps dropped, 5 salvaged, 1 late" in md
+        doc = history_to_dict(history)
+        assert doc["summary"]["total_salvaged_steps"] == 5
+        assert doc["rounds"][2]["salvaged_steps"] == 5
+
     def test_save_writes_json_and_md(self, tmp_path):
         path = save_report(self.make_history(), tmp_path / "run.json",
                            metadata={"k": 1})
