@@ -1,0 +1,64 @@
+"""Update compression: move 14x fewer bytes, learn the same model.
+
+The Link's lossless zlib leaves a pseudo-gradient essentially
+uncompressed — trained deltas are high-entropy float32 — so federated
+communication stopped improving at LocalSGD's once-per-round
+exchange.  The ``repro.compress`` codecs push further: quantization
+(``int8`` with seeded stochastic rounding) and sparsification
+(``topk:<frac>``, optionally chained with ``fp16`` values) shrink
+each upload by 4-14x, while per-client **error feedback** accumulates
+whatever the codec discarded and retries it next round, so the
+training trajectory stays within a few percent of the uncompressed
+run.
+
+This walkthrough trains the same 4-client federation under four
+transport configurations and prints what each one moved and learned.
+
+Run:
+    python examples/compressed_federation.py
+"""
+
+from __future__ import annotations
+
+from repro import Photon
+from repro.config import FedConfig, ModelConfig, OptimConfig
+
+MODEL = ModelConfig("compress-demo", n_blocks=2, d_model=32, n_heads=2,
+                    vocab_size=32, seq_len=32)
+
+SCENARIOS = [
+    ("lossless zlib (paper default)", "none", False),
+    ("int8, stochastic rounding + EF", "int8", True),
+    ("top-10% + fp16 values + EF", "topk:0.1+fp16", True),
+    ("top-10% + fp16, no EF (drifts)", "topk:0.1+fp16", False),
+]
+
+
+def build(compression: str, error_feedback: bool) -> Photon:
+    fed = FedConfig(
+        population=4, clients_per_round=4, local_steps=16, rounds=10,
+        compression=compression, error_feedback=error_feedback,
+    )
+    optim = OptimConfig(max_lr=4e-3, warmup_steps=4,
+                        schedule_steps=fed.total_client_steps,
+                        batch_size=4, weight_decay=0.0)
+    return Photon(MODEL, fed, optim, num_shards=4, val_batches=2)
+
+
+def main() -> None:
+    print(f"{'transport':<34} {'wire MB':>8} {'raw/wire':>9} "
+          f"{'final ppl':>10}")
+    for label, compression, error_feedback in SCENARIOS:
+        photon = build(compression, error_feedback)
+        photon.train()
+        result = photon.result()
+        link = photon.aggregator.link
+        uplink_ratio = link.uplink_raw_bytes / link.uplink_wire_bytes
+        print(f"{label:<34} {result.total_comm_bytes / 2**20:>8.2f} "
+              f"{uplink_ratio:>8.1f}x {result.final_perplexity:>10.2f}")
+    print("\nint8 moves ~4x fewer uplink bytes and top-k ~14x; with error")
+    print("feedback both track the lossless run, without it top-k drifts.")
+
+
+if __name__ == "__main__":
+    main()

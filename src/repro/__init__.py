@@ -12,6 +12,8 @@ The package builds every layer the paper depends on:
   strategy selection;
 * :mod:`repro.net` — federation topology, wall-time model,
   communication accounting;
+* :mod:`repro.compress` — lossy update codecs (quantization,
+  sparsification) with error feedback for the Link;
 * :mod:`repro.fed` — Photon itself (aggregator, clients, Link,
   server optimizers) plus the centralized and DiLoCo baselines;
 * :mod:`repro.eval` — perplexity and synthetic downstream tasks.

@@ -89,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--exploration", type=float, default=1.0,
                        help="utility selection: weight of the recency bonus "
                             "that keeps slow clients from starving")
+    train.add_argument("--stat-utility-weight", type=float, default=0.0,
+                       help="utility selection: weight of the recent "
+                            "loss-improvement term (true Oort; 0 = off)")
+    train.add_argument("--compression", default="none",
+                       help="lossy update codec for client uploads: none, "
+                            "fp16, int8, int4, topk:<frac>, randk:<frac>, "
+                            "chained with '+' (e.g. topk:0.05+fp16)")
+    train.add_argument("--error-feedback", action="store_true",
+                       help="keep a per-client EF residual so lossy "
+                            "compression stays convergent")
+    train.add_argument("--compress-broadcast", action="store_true",
+                       help="also run the server broadcast through the "
+                            "--compression codec")
 
     diloco = sub.add_parser("diloco", help="run the DiLoCo baseline")
     diloco.add_argument("--model", default="tiny")
@@ -137,7 +150,11 @@ def _cmd_train(args) -> int:
                     deadline=args.deadline, drop_policy=args.drop_policy,
                     adaptive_local_steps=args.adaptive_local_steps,
                     selection=args.selection, jitter=args.jitter,
-                    exploration=args.exploration)
+                    exploration=args.exploration,
+                    stat_utility_weight=args.stat_utility_weight,
+                    compression=args.compression,
+                    error_feedback=args.error_feedback,
+                    compress_broadcast=args.compress_broadcast)
     optim = OptimConfig(max_lr=args.max_lr,
                         warmup_steps=_warmup_for(fed.total_client_steps),
                         schedule_steps=fed.total_client_steps,
@@ -169,6 +186,12 @@ def _cmd_train(args) -> int:
               f"jitter={fed.jitter:g} exploration={fed.exploration:g}")
     print(f"best perplexity : {result.best_perplexity:.2f}")
     print(f"comm bytes      : {result.total_comm_bytes:,}")
+    if fed.compression != "none":
+        print(f"compression     : {fed.compression} "
+              f"(ef={'on' if fed.error_feedback else 'off'}); "
+              f"{result.total_raw_bytes:,} raw bytes -> "
+              f"{result.total_comm_bytes:,} on the wire "
+              f"({result.compression_ratio:.1f}x)")
     if walltime_config is not None:
         print(f"simulated wall  : {result.simulated_wall_time_s:,.1f} s")
     if failure_model is not None:
@@ -274,9 +297,17 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .fed import ClientFailure
+
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
+    except ClientFailure as exc:
+        # A run aborted by the fault policy (strict mode, or a retry
+        # budget exhausted under crash injection) is a runtime
+        # failure, not a bug: one line, exit 1.
+        print(f"repro {args.command}: aborted: {exc}", file=sys.stderr)
+        return 1
     except ValueError as exc:
         # Config errors (bad flag combinations, impossible deadlines,
         # …) are usage errors: one line on stderr, no traceback.

@@ -1,0 +1,101 @@
+"""Error feedback: the residual memory that keeps lossy codecs honest.
+
+A biased compressor (top-k keeps the big coordinates forever, int4
+rounds small signals to zero) silently discards part of every
+pseudo-gradient; without correction the discarded directions never
+reach the server and convergence stalls.  EF/EF21-style error feedback
+(Seide et al.; Karimireddy et al.; Richtárik et al.) fixes this with
+one state dict of memory per client:
+
+* before encoding, the client adds its accumulated residual to the
+  fresh delta (``sent = delta + residual``);
+* after encoding, the residual becomes whatever the wire lost
+  (``residual' = sent − decoded``).
+
+The invariant — **residual conservation** — falls out of the two
+assignments: ``delta + residual == decoded + residual'`` exactly, so
+no pseudo-gradient mass is ever lost, only deferred.  Over rounds the
+deferred part keeps being retried until it clears the compressor,
+which is what restores convergence for any contractive codec.
+
+With a lossless codec ``decoded == sent`` and the residual stays zero,
+so ``error_feedback=True`` composes with ``compression="none"`` as a
+bit-exact no-op (the engines additionally skip EF entirely on the
+lossless path).
+
+Thread safety: each client's residual is touched only by that
+client's own train-and-upload exchange, which the engines never run
+concurrently for one client — the per-client layout needs no lock,
+matching the per-client RNG streams elsewhere in the simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.serialization import StateDict, tree_add, tree_norm, tree_sub
+
+__all__ = ["ErrorFeedback"]
+
+
+class ErrorFeedback:
+    """Per-client compression-residual accumulator."""
+
+    def __init__(self):
+        self._residual: dict[str, StateDict] = {}
+
+    # ------------------------------------------------------------------
+    def apply(self, client_id: str, delta: StateDict) -> StateDict:
+        """The state dict to *send*: fresh delta plus the client's
+        accumulated residual (the delta itself on first contact)."""
+        residual = self._residual.get(client_id)
+        if residual is None:
+            return delta
+        return tree_add(delta, residual)
+
+    def record(self, client_id: str, sent: StateDict,
+               decoded: StateDict) -> None:
+        """Store what the wire lost: ``residual = sent − decoded``."""
+        self._residual[client_id] = tree_sub(sent, decoded)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, StateDict]:
+        """Shallow copy of the residual map.  Entries are replaced
+        wholesale by :meth:`record` (never mutated in place), so
+        sharing the underlying arrays is safe.  The sync engine uses
+        this to rewind residuals consumed by a retried round attempt
+        whose deltas the server discarded."""
+        return dict(self._residual)
+
+    def restore(self, snapshot: dict[str, StateDict]) -> None:
+        """Reset the residual map to a :meth:`snapshot`."""
+        self._residual = dict(snapshot)
+
+    # ------------------------------------------------------------------
+    def residual(self, client_id: str) -> StateDict | None:
+        return self._residual.get(client_id)
+
+    def residual_norm(self, client_id: str) -> float:
+        """L2 norm of the client's residual (0 if none recorded)."""
+        residual = self._residual.get(client_id)
+        if residual is None:
+            return 0.0
+        return tree_norm(residual)
+
+    def total_residual_norm(self) -> float:
+        """L2 norm over every client's residual — the run-level
+        "deferred mass" diagnostic surfaced in reports."""
+        total = sum(self.residual_norm(cid) ** 2 for cid in self._residual)
+        return float(np.sqrt(total))
+
+    def reset(self, client_id: str | None = None) -> None:
+        if client_id is None:
+            self._residual.clear()
+        else:
+            self._residual.pop(client_id, None)
+
+    def __len__(self) -> int:
+        return len(self._residual)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ErrorFeedback(clients={sorted(self._residual)})"

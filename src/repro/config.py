@@ -136,9 +136,21 @@ class FedConfig:
     is the legacy behavior, bit-exact; ``"fastest"`` ranks by
     predicted cycle time; ``"utility"`` adds deadline feasibility,
     recency and a fairness floor, with ``exploration`` scaling the
-    recency bonus); ``jitter`` (async-only) is the scale of seeded
-    lognormal per-cycle duration noise (0 = deterministic clock,
-    bit-exact).
+    recency bonus and ``stat_utility_weight`` folding each client's
+    recent loss improvement into the score — true Oort, default 0.0
+    for bit-exactness); ``jitter`` (async-only) is the scale of seeded
+    lognormal per-cycle duration noise — one float for the whole
+    federation or a ``client_id → scale`` mapping so hot devices are
+    noisier than racked ones (0 = deterministic clock, bit-exact).
+
+    Compression knobs: ``compression`` names a lossy update codec from
+    :mod:`repro.compress` (``"none"`` keeps the paper's lossless zlib
+    byte-exactly; ``"fp16"``, ``"int8"``, ``"int4"``,
+    ``"topk:<frac>"``, ``"randk:<frac>"``, chained with ``+``) applied
+    to client → server pseudo-gradient uploads; ``error_feedback``
+    keeps a per-client EF residual so biased codecs stay convergent;
+    ``compress_broadcast`` applies the same codec to the server →
+    client broadcast as well.
     """
 
     population: int = 8
@@ -157,8 +169,12 @@ class FedConfig:
     drop_policy: str | None = None
     adaptive_local_steps: bool = False
     selection: str = "random"
-    jitter: float = 0.0
+    jitter: "float | dict[str, float]" = 0.0
     exploration: float = 1.0
+    stat_utility_weight: float = 0.0
+    compression: str = "none"
+    error_feedback: bool = False
+    compress_broadcast: bool = False
 
     def __post_init__(self) -> None:
         if self.clients_per_round > self.population:
@@ -200,15 +216,37 @@ class FedConfig:
                 "selection must be one of ('random', 'fastest', 'utility'), "
                 f"got {self.selection!r}"
             )
-        if self.jitter < 0:
+        jitter_values = (
+            tuple(self.jitter.values()) if isinstance(self.jitter, dict)
+            else (self.jitter,)
+        )
+        if any(v < 0 for v in jitter_values):
             raise ValueError(f"jitter must be non-negative, got {self.jitter}")
-        if self.jitter > 0 and self.mode != "async":
+        if any(v > 0 for v in jitter_values) and self.mode != "async":
             raise ValueError("jitter only applies to mode='async' (the sync "
                              "barrier has no per-cycle clock)")
         if self.exploration < 0:
             raise ValueError(
                 f"exploration must be non-negative, got {self.exploration}"
             )
+        if self.stat_utility_weight < 0:
+            raise ValueError(
+                f"stat_utility_weight must be non-negative, got "
+                f"{self.stat_utility_weight}"
+            )
+        _check_compression_spec(self.compression)
+        if self.compress_broadcast and self.compression == "none":
+            raise ValueError(
+                "compress_broadcast needs a lossy compression spec "
+                "(compression='none' already runs the lossless default)"
+            )
+
+    @property
+    def jitter_active(self) -> bool:
+        """Whether any client's cycle durations carry jitter noise."""
+        if isinstance(self.jitter, dict):
+            return any(v > 0 for v in self.jitter.values())
+        return self.jitter > 0
 
     @property
     def participation(self) -> float:
@@ -217,6 +255,21 @@ class FedConfig:
     @property
     def total_client_steps(self) -> int:
         return self.rounds * self.local_steps
+
+
+def _check_compression_spec(spec: str) -> None:
+    """Validate a compression spec against the canonical parser.
+
+    Delegates to :func:`repro.compress.make_codec` (the registry that
+    will build the codec), so stages registered on
+    ``DEFAULT_REGISTRY`` are usable through ``FedConfig``/CLI and the
+    grammar cannot drift.  The import is lazy only to keep config
+    import-light; ``repro.compress`` depends solely on
+    ``repro.utils``, so there is no cycle.
+    """
+    from .compress.codec import make_codec
+
+    make_codec(spec)
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,7 @@ from typing import NamedTuple
 
 import numpy as np
 
+from ..compress.error_feedback import ErrorFeedback
 from ..config import ModelConfig
 from ..data.stream import BatchStream
 from ..eval.perplexity import evaluate_perplexity
@@ -224,6 +225,7 @@ class RoundEngine:
                  merge_fn=None,
                  initial_state: StateDict | None = None,
                  scheduler: ClientScheduler | None = None,
+                 error_feedback: ErrorFeedback | None = None,
                  init_seed: int = 0):
         if not clients:
             raise ValueError("the federation needs at least one client")
@@ -254,6 +256,10 @@ class RoundEngine:
         # Custom delta merging (e.g. TIES for heterogeneous clients,
         # Section 6); None means the paper's uniform/weighted mean.
         self.merge_fn = merge_fn
+        # Compression-residual memory (EF/EF21): engaged only when the
+        # Link actually runs a lossy uplink codec, so a lossless run
+        # with error feedback configured stays bit-exact.
+        self.error_feedback = error_feedback
 
         # Algorithm 1 L.2: initialize fresh, or warm-start from a
         # provided state (continual pre-training, Section 6).
@@ -303,14 +309,27 @@ class RoundEngine:
                         round_info: RoundInfo) -> ClientUpdate:
         """The client half of the exchange both engines share: decode
         the broadcast, run local training, move the delta back over
-        the Link (L.6–7)."""
+        the Link (L.6–7).
+
+        The delta the aggregator folds in is what came *off the wire*
+        — with a lossy uplink codec that is the reconstruction, and
+        error feedback (when configured) adds the client's residual
+        before encoding and banks whatever this cycle's encode lost.
+        """
         state, _ = self.link.recv_state(message)
         update = self.clients[client_id].train(state, round_info)
+        outbound = update.delta
+        ef = (self.error_feedback
+              if self.link.uplink_codec is not None else None)
+        if ef is not None:
+            outbound = ef.apply(client_id, outbound)
         reply = self.link.send_state(
-            update.delta, sender=client_id, receiver="agg",
+            outbound, sender=client_id, receiver="agg",
             metadata=update.metrics,
         )
         delta, _ = self.link.recv_state(reply)
+        if ef is not None:
+            ef.record(client_id, outbound, delta)
         update.delta = delta
         return update
 
@@ -361,6 +380,8 @@ class SyncAggregator(RoundEngine):
 
         bytes_up_before = self.link.bytes_received
         bytes_down_before = self.link.bytes_sent
+        raw_up_before = self.link.raw_bytes_received
+        raw_down_before = self.link.raw_bytes_sent
 
         round_info = RoundInfo(
             round_idx=round_idx,
@@ -406,7 +427,14 @@ class SyncAggregator(RoundEngine):
             return survivors, failed
 
         # Execute with the configured fault policy (Section 4: PS/AR
-        # aggregate partial updates; RAR must redo the round).
+        # aggregate partial updates; RAR must redo the round).  A
+        # retried attempt discards its survivors' decoded deltas, so
+        # the error-feedback residuals those exchanges consumed and
+        # re-banked must be rewound — otherwise the mass "delivered"
+        # into a delta the server never applies is silently lost.
+        ef = (self.error_feedback
+              if self.link.uplink_codec is not None else None)
+        ef_snapshot = ef.snapshot() if ef is not None else None
         retries = 0
         updates, failed = run_cohort(selected)
         while failed:
@@ -423,7 +451,15 @@ class SyncAggregator(RoundEngine):
                     break
                 raise ClientFailure(failed[0], round_idx)
             retries += 1
+            if ef is not None:
+                ef.restore(ef_snapshot)
             updates, failed = run_cohort(selected)
+
+        # Scheduler feedback for the stat-utility term (serial, in
+        # cohort completion order — a no-op at weight 0).
+        for update in updates:
+            self.scheduler.note_result(
+                update.client_id, update.metrics.get("train_loss_mean"))
 
         # Aggregate (L.8): uniform mean by default, or a custom merge
         # (e.g. TIES) when configured.
@@ -442,6 +478,8 @@ class SyncAggregator(RoundEngine):
             clients=[u.client_id for u in updates],
             comm_bytes_up=self.link.bytes_received - bytes_up_before,
             comm_bytes_down=self.link.bytes_sent - bytes_down_before,
+            raw_bytes_up=self.link.raw_bytes_received - raw_up_before,
+            raw_bytes_down=self.link.raw_bytes_sent - raw_down_before,
             pseudo_grad_norm=tree_norm(pseudo_grad),
             client_metrics=aggregate_metrics([u.metrics for u in updates]),
             failed_clients=sorted(set(selected) - {u.client_id for u in updates}),
@@ -563,6 +601,10 @@ class AsyncAggregator(RoundEngine):
         self._inflight: dict[str, _InFlight] = {}
         self._buffer: list[tuple[int, ClientUpdate]] = []  # (pull version, update)
         self._idle: deque[str] = deque()
+        # Idle clients the most recent availability draw found
+        # unreachable: deferred until the next draw, and meanwhile not
+        # eligible for a requeue's freed slot either.
+        self._availability_deferred: set[str] = set()
         # retry_round bookkeeping: consecutive crashes per client (the
         # retry budget) and retries issued since the last flush.
         self._failure_streak: dict[str, int] = {}
@@ -576,6 +618,8 @@ class AsyncAggregator(RoundEngine):
         self._last_flush_clock = 0.0
         self._bytes_up_mark = 0
         self._bytes_down_mark = 0
+        self._raw_up_mark = 0
+        self._raw_down_mark = 0
         self._started = False
 
     # ------------------------------------------------------------------
@@ -593,7 +637,7 @@ class AsyncAggregator(RoundEngine):
         draw (consumed exactly once per dispatch, in dispatch order)."""
         duration = self._base_duration_s(client_id, local_steps)
         if self.jitter is not None:
-            duration *= self.jitter.factor()
+            duration *= self.jitter.factor(client_id)
         return duration
 
     def _predict_cycle_s(self, client_id: str) -> float:
@@ -664,6 +708,7 @@ class AsyncAggregator(RoundEngine):
                 )
             else:
                 reachable = set(self._idle)
+            self._availability_deferred = set(self._idle) - reachable
             # The engine's deadline is the feasibility fallback when
             # the scheduler was built without one of its own.
             dispatch, leftover = self.scheduler.select_async(
@@ -695,6 +740,8 @@ class AsyncAggregator(RoundEngine):
         # still in flight when the run ends goes unattributed.
         self._bytes_up_mark = self.link.bytes_received
         self._bytes_down_mark = self.link.bytes_sent
+        self._raw_up_mark = self.link.raw_bytes_received
+        self._raw_down_mark = self.link.raw_bytes_sent
         population = sorted(self.clients)
         selected = self.sampler.sample(population, 0)
         if self.buffer_size is None:
@@ -774,16 +821,93 @@ class AsyncAggregator(RoundEngine):
 
     def _handle_timeout(self, client_id: str) -> None:
         """A cancelled request reaches its deadline: account the
-        abandoned work, then requeue immediately or return the client
-        to the availability-gated idle pool per the drop policy."""
+        abandoned work, then requeue through the scheduler or return
+        the client to the availability-gated idle pool per the drop
+        policy."""
         entry = self._inflight.pop(client_id)
         self.drop_ledger.record_drop(
             entry.planned, entry.message.nbytes + Link.METADATA_OVERHEAD
         )
         if self.deadline.drop_policy == "requeue":
-            self._dispatch(client_id)
+            self._requeue(client_id)
         else:
             self._idle.append(client_id)
+
+    def _requeue(self, client_id: str) -> None:
+        """Give the freed dispatch slot back through the selection
+        policy instead of unconditionally re-issuing the cancelled
+        request.  ``random`` keeps the legacy semantics bit-exactly
+        (immediate re-dispatch of the same client); ranked policies
+        contest the slot between the cancelled client and the idle
+        pool, so a chronically-infeasible client stops monopolizing
+        it.  No availability redraw: the legacy path never consumed
+        one here, and histories must stay rerun-identical — instead,
+        idle clients the *last* draw deferred as unreachable stay
+        ineligible (the cancelled client itself was dispatched, hence
+        reachable).
+        """
+        if self.scheduler.policy == "random":
+            self._dispatch(client_id)
+            return
+        pool_idle = [c for c in self._idle
+                     if c not in self._availability_deferred]
+        if not pool_idle and self._idle and self.availability is not None:
+            # Every idle client was deferred by the last draw.  A
+            # timeout is a completion event, so take the documented
+            # "fresh availability draw" here rather than pinning the
+            # slot on the cancelled client until something completes
+            # (nothing might: this is the requeue-livelock shape).
+            reachable = set(
+                self.availability.available(list(self._idle), self.version)
+            )
+            self._availability_deferred = set(self._idle) - reachable
+            pool_idle = [c for c in self._idle if c in reachable]
+        pool = [client_id] + pool_idle
+        dispatch, _ = self.scheduler.select_async(
+            pool, set(pool), 1, self.version, self._predict_cycle_s,
+            deadline_s=self.deadline.deadline_s,
+        )
+        chosen = set(dispatch)
+        # Rebuild the idle pool in order, keeping deferred clients in
+        # place (select_async never saw them).
+        self._idle = deque(
+            c for c in [client_id] + list(self._idle) if c not in chosen
+        )
+        for cid in dispatch:
+            self._dispatch(cid)
+
+    def _check_requeue_liveness(self) -> None:
+        """Fail fast on a provable requeue livelock.
+
+        Under ``random`` selection a cancelled request is re-issued to
+        the *same* client (legacy semantics), so once every in-flight
+        client's deterministic cycle exceeds the deadline no
+        completion can ever arrive and the buffer never fills — the
+        population-level feasibility check cannot see this because it
+        only guarantees that *some* client fits the deadline, not that
+        one holds a dispatch slot.  A client whose cycles carry jitter
+        is exempt — a lucky draw can rescue a borderline cycle — but
+        only *that client's* scale counts: a per-client mapping leaves
+        unlisted clients exactly deterministic.  Ranked policies are
+        exempt too — their requeue re-contests the slot against the
+        idle pool (:meth:`_requeue`).
+        """
+        if (self.deadline is None or self.deadline.drop_policy != "requeue"
+                or self.scheduler.policy != "random" or not self._inflight):
+            return
+
+        def rescuable(cid: str) -> bool:
+            return self.jitter is not None and self.jitter.scale_for(cid) > 0
+
+        if all(not rescuable(cid)
+               and self._base_duration_s(cid, self._inflight[cid].planned)
+               > self.deadline.deadline_s for cid in self._inflight):
+            raise ValueError(
+                "drop_policy='requeue' with random selection has every "
+                "in-flight client over the deadline; their slots can "
+                "never complete (use selection='utility', a longer "
+                "deadline, or another drop policy)"
+            )
 
     def _flush(self) -> RoundRecord:
         """Apply ServerOpt to the staleness-weighted buffer contents.
@@ -837,6 +961,8 @@ class AsyncAggregator(RoundEngine):
             clients=[u.client_id for u in updates],
             comm_bytes_up=self.link.bytes_received - self._bytes_up_mark,
             comm_bytes_down=self.link.bytes_sent - self._bytes_down_mark,
+            raw_bytes_up=self.link.raw_bytes_received - self._raw_up_mark,
+            raw_bytes_down=self.link.raw_bytes_sent - self._raw_down_mark,
             pseudo_grad_norm=tree_norm(pseudo_grad),
             client_metrics=client_metrics,
             failed_clients=sorted(set(self._failed_pending)),
@@ -857,6 +983,8 @@ class AsyncAggregator(RoundEngine):
         self._last_flush_clock = self.clock_s
         self._bytes_up_mark = self.link.bytes_received
         self._bytes_down_mark = self.link.bytes_sent
+        self._raw_up_mark = self.link.raw_bytes_received
+        self._raw_down_mark = self.link.raw_bytes_sent
         self.history.append(record)
         return record
 
@@ -873,6 +1001,10 @@ class AsyncAggregator(RoundEngine):
             if isinstance(outcome, ClientFailure):
                 self._failed_pending.append(outcome.client_id)
                 continue
+            # Scheduler feedback for the stat-utility term (serial,
+            # in arrival order — a no-op at weight 0).
+            self.scheduler.note_result(
+                client_id, outcome[1].metrics.get("train_loss_mean"))
             self._buffer.append(outcome)
             if len(self._buffer) >= self.buffer_size:
                 record = self._flush()
@@ -931,6 +1063,7 @@ class AsyncAggregator(RoundEngine):
                 else:
                     completed.append(client_id)
             if not completed:
+                self._check_requeue_liveness()
                 continue
             doomed = self._draw_failures(completed)
             retried = set()

@@ -10,6 +10,14 @@ Responsibilities reproduced from the paper:
   from shared seeds are added to each update and cancel in the sum,
   so the server only ever sees the aggregate.
 
+Beyond the paper's lossless default, the Link accepts pluggable lossy
+codecs from :mod:`repro.compress`: ``uplink_codec`` compresses client
+→ server pseudo-gradients, ``downlink_codec`` optionally compresses
+the server broadcast.  Alongside the wire counters the Link tracks the
+**raw** (uncompressed float32) volume of every payload, so reports can
+state exactly what the codec saved.  With no codecs configured the
+original byte stream is reproduced bit-exactly.
+
 Encryption itself (TLS) is connection-level and contributes nothing
 to the math, so it is represented by a flag on the channel.
 """
@@ -21,7 +29,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..utils.serialization import StateDict, decode_state, encode_state
+from ..compress.codec import Codec
+from ..utils.serialization import StateDict, decode_state, encode_state, state_bytes
 
 __all__ = ["Message", "Link", "SecureAggregator"]
 
@@ -51,37 +60,84 @@ class Link:
     METADATA_OVERHEAD = 256  # bytes budgeted for the message envelope
 
     def __init__(self, compress: bool = True, tls: bool = True,
-                 compression_level: int = 1, quantize_int8: bool = False):
+                 compression_level: int = 1, quantize_int8: bool = False,
+                 uplink_codec: Codec | None = None,
+                 downlink_codec: Codec | None = None):
         self.compress = compress
         self.tls = tls
         self.compression_level = compression_level
         self.quantize_int8 = quantize_int8
+        # Lossy transport (repro.compress): client→server uploads ride
+        # the uplink codec, server broadcasts the downlink codec; None
+        # keeps the legacy lossless path byte-exactly.
+        self.uplink_codec = uplink_codec
+        self.downlink_codec = downlink_codec
         self.bytes_sent = 0
         self.bytes_received = 0
+        # Uncompressed (float32) volume of the same payloads: the
+        # "what would DDP-style raw transport have moved" column.
+        self.raw_bytes_sent = 0
+        self.raw_bytes_received = 0
+        # Direction-split meters (counted once per message, at send):
+        # the legacy counters above tally every message on both the
+        # send and the receive side, so uplink-only effects — a codec
+        # on the pseudo-gradient path — are blended away in them.
+        self.uplink_wire_bytes = 0
+        self.uplink_raw_bytes = 0
+        self.downlink_wire_bytes = 0
+        self.downlink_raw_bytes = 0
         self.messages_sent = 0
         # Clients may run on a thread pool (Aggregator max_workers);
         # counter updates must stay exact.
         self._lock = threading.Lock()
 
+    def _codec_for(self, sender: str) -> Codec | None:
+        """Broadcasts (sender ``"agg"``) use the downlink codec,
+        uploads the uplink codec."""
+        return self.downlink_codec if sender == "agg" else self.uplink_codec
+
     def send_state(self, state: StateDict, sender: str, receiver: str,
                    metadata: dict | None = None) -> Message:
-        payload = encode_state(state, compress=self.compress,
-                               level=self.compression_level,
-                               quantize_int8=self.quantize_int8)
+        codec = self._codec_for(sender)
+        if codec is None:
+            payload = encode_state(state, compress=self.compress,
+                                   level=self.compression_level,
+                                   quantize_int8=self.quantize_int8)
+        else:
+            payload = codec.encode(state, sender=sender, receiver=receiver)
         message = Message(sender, receiver, payload, metadata or {})
+        raw = state_bytes(state) + self.METADATA_OVERHEAD
+        wire = message.nbytes + self.METADATA_OVERHEAD
         with self._lock:
-            self.bytes_sent += message.nbytes + self.METADATA_OVERHEAD
+            self.bytes_sent += wire
+            self.raw_bytes_sent += raw
+            if sender == "agg":
+                self.downlink_wire_bytes += wire
+                self.downlink_raw_bytes += raw
+            else:
+                self.uplink_wire_bytes += wire
+                self.uplink_raw_bytes += raw
             self.messages_sent += 1
         return message
 
     def recv_state(self, message: Message) -> tuple[StateDict, dict]:
+        codec = self._codec_for(message.sender)
+        state = (decode_state(message.payload) if codec is None
+                 else codec.decode(message.payload))
         with self._lock:
             self.bytes_received += message.nbytes + self.METADATA_OVERHEAD
-        return decode_state(message.payload), message.metadata
+            self.raw_bytes_received += state_bytes(state) + self.METADATA_OVERHEAD
+        return state, message.metadata
 
     def reset_counters(self) -> None:
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.raw_bytes_sent = 0
+        self.raw_bytes_received = 0
+        self.uplink_wire_bytes = 0
+        self.uplink_raw_bytes = 0
+        self.downlink_wire_bytes = 0
+        self.downlink_raw_bytes = 0
         self.messages_sent = 0
 
 

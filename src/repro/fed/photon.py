@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..compress import ErrorFeedback, make_codec
 from ..config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
 from ..data.sharding import assign_shards
 from ..data.stream import BatchStream, CachedTokenStream, MixedStream
@@ -59,6 +60,11 @@ class PhotonResult:
     dropped_bytes: int = 0
     deadline_misses: int = 0
     salvaged_steps: int = 0
+    # Update-compression accounting: the uncompressed fp32 volume of
+    # every payload vs what actually hit the wire, and their ratio
+    # (1.0 for the lossless default).
+    total_raw_bytes: int = 0
+    compression_ratio: float = 1.0
 
 
 class Photon:
@@ -98,8 +104,16 @@ class Photon:
     Scheduling rides on ``fed_config``: ``selection`` picks the
     :class:`~repro.fed.scheduler.ClientScheduler` policy (``random``
     is the legacy behavior, bit-exact), ``exploration`` scales the
-    ``utility`` recency bonus, and ``jitter`` adds seeded lognormal
-    per-cycle duration noise to the async clock.
+    ``utility`` recency bonus, ``stat_utility_weight`` folds recent
+    loss improvement into the score, and ``jitter`` (scalar or
+    per-client mapping) adds seeded lognormal per-cycle duration
+    noise to the async clock.
+
+    Update compression rides on ``fed_config`` too: ``compression``
+    names a :mod:`repro.compress` codec for the pseudo-gradient
+    upload (``error_feedback`` keeps per-client EF residuals,
+    ``compress_broadcast`` also compresses the server broadcast);
+    ``"none"`` is the paper's lossless zlib, byte-exact.
     """
 
     def __init__(self, model_config: ModelConfig, fed_config: FedConfig,
@@ -203,6 +217,15 @@ class Photon:
             fed_config.selection,
             deadline_s=fed_config.deadline,
             exploration=fed_config.exploration,
+            stat_utility_weight=fed_config.stat_utility_weight,
+        )
+        # Lossy update transport (repro.compress): uploads always ride
+        # the codec, the broadcast only when asked; "none" keeps the
+        # legacy lossless Link byte-exactly (codec is None).
+        codec = make_codec(fed_config.compression, seed=fed_config.seed)
+        error_feedback = (
+            ErrorFeedback()
+            if fed_config.error_feedback and codec is not None else None
         )
         engine_kwargs = dict(
             model_config=model_config,
@@ -212,7 +235,10 @@ class Photon:
             ),
             sampler=sampler,
             val_stream=val_stream,
-            link=Link(),
+            link=Link(
+                uplink_codec=codec,
+                downlink_codec=codec if fed_config.compress_broadcast else None,
+            ),
             availability=availability,
             walltime=walltime,
             comm_topology=comm_topology,
@@ -224,6 +250,7 @@ class Photon:
             failure_model=failure_model,
             fault_policy=fault_policy,
             scheduler=scheduler,
+            error_feedback=error_feedback,
             init_seed=init_seed,
         )
         self.aggregator: RoundEngine
@@ -236,7 +263,7 @@ class Photon:
                 deadline=deadline,
                 adaptive_local_steps=fed_config.adaptive_local_steps,
                 jitter=(JitterModel(fed_config.jitter, seed=fed_config.seed)
-                        if fed_config.jitter > 0 else None),
+                        if fed_config.jitter_active else None),
                 **engine_kwargs,
             )
         else:
@@ -309,9 +336,10 @@ class Photon:
         """Summarize the run so far."""
         history = self.aggregator.history
         ppls = history.val_perplexities
+        wire, raw = history.total_comm_bytes, history.total_raw_bytes
         return PhotonResult(
             history=history,
-            total_comm_bytes=history.total_comm_bytes,
+            total_comm_bytes=wire,
             simulated_wall_time_s=self.aggregator.simulated_wall_time_s,
             tokens_processed=sum(c.tokens_processed for c in self.clients.values()),
             final_perplexity=ppls[-1] if ppls else float("nan"),
@@ -320,6 +348,8 @@ class Photon:
             dropped_bytes=sum(r.dropped_bytes for r in history),
             deadline_misses=sum(r.deadline_misses for r in history),
             salvaged_steps=sum(r.salvaged_steps for r in history),
+            total_raw_bytes=raw,
+            compression_ratio=(raw / wire if wire and raw else 1.0),
         )
 
     # ------------------------------------------------------------------

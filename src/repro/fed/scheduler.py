@@ -21,7 +21,12 @@ before dispatch: the engines route every selection through a
 ``utility``
     Oort/REFL-style score combining a throughput term (predicted
     cycle time), a recency term (clients unselected for many server
-    versions score higher — ``exploration`` scales it), and deadline
+    versions score higher — ``exploration`` scales it), an optional
+    **statistical utility** term (true Oort: clients whose recent
+    train loss improved the most score higher — the engines feed
+    per-arrival loss back via :meth:`ClientScheduler.note_result`,
+    and ``stat_utility_weight`` scales the normalized improvement;
+    the default 0.0 keeps selection bit-exact), and deadline
     awareness: clients whose predicted cycle exceeds the per-cycle
     deadline are deprioritized instead of being dispatched and
     cancelled.  A hard fairness floor prevents starvation: any client
@@ -71,6 +76,11 @@ class ClientScheduler:
         Weight of the ``utility`` recency term relative to the
         throughput term (0 = pure fastest-feasible, larger values
         rotate slow clients in sooner).
+    stat_utility_weight:
+        Weight of the ``utility`` statistical term: each candidate's
+        most recent train-loss improvement (fed back by the engines
+        through :meth:`note_result`), normalized over the candidate
+        set.  0.0 (the default) is the bit-exact legacy score.
     fairness_every_k:
         Hard floor: a client unselected for this many server versions
         is selected ahead of any scoring.  ``None`` disables the
@@ -80,6 +90,7 @@ class ClientScheduler:
     def __init__(self, policy: str = "random", *,
                  deadline_s: float | None = None,
                  exploration: float = 1.0,
+                 stat_utility_weight: float = 0.0,
                  fairness_every_k: int | None = 8):
         if policy not in SELECTION_POLICIES:
             raise ValueError(
@@ -90,6 +101,11 @@ class ClientScheduler:
             raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         if exploration < 0:
             raise ValueError(f"exploration must be non-negative, got {exploration}")
+        if stat_utility_weight < 0:
+            raise ValueError(
+                f"stat_utility_weight must be non-negative, got "
+                f"{stat_utility_weight}"
+            )
         if fairness_every_k is not None and fairness_every_k < 1:
             raise ValueError(
                 f"fairness_every_k must be >= 1 or None, got {fairness_every_k}"
@@ -97,11 +113,16 @@ class ClientScheduler:
         self.policy = policy
         self.deadline_s = deadline_s
         self.exploration = exploration
+        self.stat_utility_weight = stat_utility_weight
         self.fairness_every_k = fairness_every_k
         #: server version at each client's most recent selection.
         self.last_selected: dict[str, int] = {}
         #: total dispatches per client (includes retries/requeues).
         self.selections: dict[str, int] = {}
+        #: last reported train loss and last observed improvement per
+        #: client (the ``utility`` statistical term's inputs).
+        self._last_loss: dict[str, float] = {}
+        self.loss_improvement: dict[str, float] = {}
         #: recent (version, client) selections, in order — test/debug
         #: aid, bounded so long simulations don't grow without limit.
         self.selection_log: deque[tuple[int, str]] = deque(
@@ -122,6 +143,20 @@ class ClientScheduler:
         self.selections[client_id] = self.selections.get(client_id, 0) + 1
         self.selection_log.append((version, client_id))
 
+    def note_result(self, client_id: str, train_loss: float | None) -> None:
+        """Record a delivered update's mean train loss; consecutive
+        reports yield the client's *loss improvement* (previous −
+        current), the statistical-utility signal.  The engines call
+        this for every admitted update, so at weight 0 it is pure
+        bookkeeping with no effect on selection."""
+        if train_loss is None:
+            return
+        train_loss = float(train_loss)
+        previous = self._last_loss.get(client_id)
+        if previous is not None:
+            self.loss_improvement[client_id] = previous - train_loss
+        self._last_loss[client_id] = train_loss
+
     def _waited(self, client_id: str, version: int) -> int:
         """Server versions since the client was last selected (clients
         never seen count as waiting since before version 0)."""
@@ -137,18 +172,26 @@ class ClientScheduler:
         return sorted(due, key=lambda c: (-self._waited(c, version), c))
 
     def utility(self, client_id: str, version: int, cycle_s: float,
-                fastest_s: float) -> float:
-        """Oort/REFL-style score: throughput term + recency term.
+                fastest_s: float, stat_norm: float = 0.0) -> float:
+        """Oort/REFL-style score: throughput + recency + statistics.
 
         ``fastest_s / cycle_s`` is in (0, 1] (1 for the fastest
         client); the recency term grows linearly with the versions a
         client has waited, saturating at the fairness horizon, scaled
-        by ``exploration``.
+        by ``exploration``; the statistical term (true Oort) is the
+        client's last observed loss improvement, clamped at 0 and
+        normalized by ``stat_norm`` (the candidate set's largest
+        improvement, supplied by :meth:`_rank`), scaled by
+        ``stat_utility_weight``.
         """
         speed = fastest_s / cycle_s if cycle_s > 0 else 1.0
         horizon = self.fairness_every_k or _DEFAULT_HORIZON
         recency = min(self._waited(client_id, version), horizon) / horizon
-        return speed + self.exploration * recency
+        score = speed + self.exploration * recency
+        if self.stat_utility_weight and stat_norm > 0:
+            improvement = max(0.0, self.loss_improvement.get(client_id, 0.0))
+            score += self.stat_utility_weight * improvement / stat_norm
+        return score
 
     # ------------------------------------------------------------------
     def _rank(self, candidates: list[str], version: int,
@@ -165,9 +208,17 @@ class ClientScheduler:
         due_set = set(due)
         rest = [c for c in candidates if c not in due_set]
         fastest_s = min(durations.values(), default=1.0)
+        # Candidate-relative normalizer for the statistical term: the
+        # best recent improvement maps to 1, so the term is unitless
+        # like the speed and recency terms.
+        stat_norm = max(
+            (self.loss_improvement.get(c, 0.0) for c in candidates),
+            default=0.0,
+        )
 
         def score_key(c: str):
-            return (-self.utility(c, version, durations[c], fastest_s), c)
+            return (-self.utility(c, version, durations[c], fastest_s,
+                                  stat_norm), c)
 
         if deadline_s is not None:
             feasible = sorted((c for c in rest

@@ -101,26 +101,52 @@ class JitterModel:
     dropped, which is what makes deadline-aware selection a statistical
     rather than a combinatorial problem.
 
-    ``scale = 0`` is the exact identity: :meth:`factor` returns 1.0
-    without consuming any RNG state, so an unjittered run is
-    reproduced bit-exactly (a tested regression anchor).
+    ``scale`` is either one float for the whole federation or a
+    mapping ``client_id → scale`` — hot phone-class devices are far
+    noisier than racked silo hardware, so their deadlines deserve a
+    wider distribution.  Unlisted clients are noiseless.
+
+    ``scale = 0`` (scalar, per-client entry, or unlisted client) is
+    the exact identity: :meth:`factor` returns 1.0 without consuming
+    any RNG state, so an unjittered run — and every noiseless client
+    inside a mixed federation — is reproduced bit-exactly (a tested
+    regression anchor).
 
     Draws are consumed in dispatch order, which the async engine
     serializes — histories are rerun-identical for any ``max_workers``.
     """
 
-    def __init__(self, scale: float = 0.0, seed: int = 0):
-        if scale < 0:
-            raise ValueError(f"jitter scale must be non-negative, got {scale}")
-        self.scale = scale
+    def __init__(self, scale: float | dict[str, float] = 0.0, seed: int = 0):
+        if isinstance(scale, dict):
+            for cid, s in scale.items():
+                if s < 0:
+                    raise ValueError(
+                        f"jitter scale for client {cid!r} must be "
+                        f"non-negative, got {s}"
+                    )
+            self.scale = dict(scale)
+        else:
+            if scale < 0:
+                raise ValueError(
+                    f"jitter scale must be non-negative, got {scale}")
+            self.scale = scale
         self.seed = seed
         self._rng = np.random.default_rng(seed)
 
-    def factor(self) -> float:
+    def scale_for(self, client_id: str | None) -> float:
+        """The lognormal sigma applied to this client's cycles."""
+        if isinstance(self.scale, dict):
+            if client_id is None:
+                return 0.0
+            return self.scale.get(client_id, 0.0)
+        return self.scale
+
+    def factor(self, client_id: str | None = None) -> float:
         """Multiplicative duration factor for the next cycle."""
-        if self.scale == 0.0:
+        scale = self.scale_for(client_id)
+        if scale == 0.0:
             return 1.0
-        return float(np.exp(self._rng.normal(0.0, self.scale)))
+        return float(np.exp(self._rng.normal(0.0, scale)))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"JitterModel(scale={self.scale}, seed={self.seed})"

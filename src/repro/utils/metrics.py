@@ -42,6 +42,11 @@ class RoundRecord:
     clients: list[str]
     comm_bytes_up: int = 0
     comm_bytes_down: int = 0
+    # Uncompressed (float32) volume of the same payloads — with a
+    # lossy Link codec the wire counters above shrink while these
+    # stay put, so raw/wire is the measured compression ratio.
+    raw_bytes_up: int = 0
+    raw_bytes_down: int = 0
     pseudo_grad_norm: float = 0.0
     client_metrics: dict[str, float] = field(default_factory=dict)
     wall_time_s: float = 0.0
@@ -59,6 +64,16 @@ class RoundRecord:
     @property
     def train_perplexity(self) -> float:
         return float(np.exp(self.train_loss))
+
+    @property
+    def compression_ratio(self) -> float:
+        """Measured raw/wire byte ratio (1.0 when raw was not
+        tracked, e.g. hand-built records)."""
+        wire = self.comm_bytes_up + self.comm_bytes_down
+        raw = self.raw_bytes_up + self.raw_bytes_down
+        if wire <= 0 or raw <= 0:
+            return 1.0
+        return raw / wire
 
 
 @dataclass
@@ -87,6 +102,10 @@ class History:
     @property
     def total_comm_bytes(self) -> int:
         return sum(r.comm_bytes_up + r.comm_bytes_down for r in self.records)
+
+    @property
+    def total_raw_bytes(self) -> int:
+        return sum(r.raw_bytes_up + r.raw_bytes_down for r in self.records)
 
     def best_perplexity(self) -> float:
         if not self.records:

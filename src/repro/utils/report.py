@@ -32,6 +32,8 @@ def history_to_dict(history: History, metadata: dict | None = None) -> dict:
             "retries": record.retries,
             "comm_bytes_up": record.comm_bytes_up,
             "comm_bytes_down": record.comm_bytes_down,
+            "raw_bytes_up": record.raw_bytes_up,
+            "raw_bytes_down": record.raw_bytes_down,
             "pseudo_grad_norm": _num(record.pseudo_grad_norm),
             "wall_time_s": _num(record.wall_time_s),
             "dropped_steps": record.dropped_steps,
@@ -46,6 +48,11 @@ def history_to_dict(history: History, metadata: dict | None = None) -> dict:
         "best_val_perplexity": min(ppls) if ppls else None,
         "final_val_perplexity": ppls[-1] if ppls else None,
         "total_comm_bytes": history.total_comm_bytes,
+        "total_raw_bytes": history.total_raw_bytes,
+        "wire_compression_ratio": _num(
+            history.total_raw_bytes / history.total_comm_bytes
+            if history.total_comm_bytes and history.total_raw_bytes else 1.0
+        ),
         "total_wall_time_s": _num(sum(r["wall_time_s"] or 0.0 for r in rounds)),
         "total_dropped_steps": sum(r["dropped_steps"] for r in rounds),
         "total_dropped_bytes": sum(r["dropped_bytes"] for r in rounds),
@@ -59,15 +66,21 @@ def format_markdown(history: History, title: str = "Run report") -> str:
     """Render the history as a markdown table.
 
     The deadline ledger (dropped/salvaged steps, late admits) only
-    earns its columns when some round actually recorded it — an
-    undisturbed run keeps the compact table.
+    earns its columns when some round actually recorded it, and the
+    wire/raw compression columns only appear when raw volume was
+    tracked (Link-driven runs) — hand-built histories keep the
+    compact table.
     """
     with_ledger = any(
         r.dropped_steps or r.salvaged_steps or r.deadline_misses
         for r in history
     )
+    with_wire = any(r.raw_bytes_up + r.raw_bytes_down > 0 for r in history)
     header = "| round | val PPL | train loss | clients | failed | comm (KB) |"
     rule = "|---|---|---|---|---|---|"
+    if with_wire:
+        header = header + " raw (KB) | ratio |"
+        rule = rule + "---|---|"
     if with_ledger:
         header = header + " dropped | salvaged | late |"
         rule = rule + "---|---|---|"
@@ -79,6 +92,9 @@ def format_markdown(history: History, title: str = "Run report") -> str:
             f"{record.train_loss:.3f} | {len(record.clients)} | "
             f"{len(record.failed_clients)} | {comm_kb:.0f} |"
         )
+        if with_wire:
+            raw_kb = (record.raw_bytes_up + record.raw_bytes_down) / 1024
+            row += f" {raw_kb:.0f} | {record.compression_ratio:.1f}x |"
         if with_ledger:
             row += (f" {record.dropped_steps} | {record.salvaged_steps} | "
                     f"{record.deadline_misses} |")
@@ -86,6 +102,15 @@ def format_markdown(history: History, title: str = "Run report") -> str:
     if len(history):
         lines += ["", "Best validation perplexity: "
                   f"**{history.best_perplexity():.2f}**"]
+        if with_wire:
+            ratio = (history.total_raw_bytes / history.total_comm_bytes
+                     if history.total_comm_bytes else 1.0)
+            lines += [
+                "",
+                f"Wire volume: {history.total_comm_bytes:,} bytes moved "
+                f"for {history.total_raw_bytes:,} raw bytes "
+                f"({ratio:.1f}x compression).",
+            ]
         if with_ledger:
             lines += [
                 "",

@@ -42,6 +42,31 @@ class TestParser:
             build_parser().parse_args(
                 ["train", "--deadline", "5", "--drop-policy", "discard"])
 
+    def test_compression_flags(self):
+        args = build_parser().parse_args(
+            ["train", "--compression", "topk:0.1+fp16", "--error-feedback",
+             "--compress-broadcast", "--stat-utility-weight", "1.5"])
+        assert args.compression == "topk:0.1+fp16"
+        assert args.error_feedback and args.compress_broadcast
+        assert args.stat_utility_weight == 1.5
+        assert build_parser().parse_args(["train"]).compression == "none"
+
+    def test_bad_compression_spec_is_usage_error(self, capsys):
+        assert main(["train", "--compression", "int7"]) == 2
+        assert "compression" in capsys.readouterr().err
+        assert main(["train", "--compress-broadcast"]) == 2
+        assert "compress_broadcast" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_fault_abort_is_one_line_not_a_traceback(self, capsys):
+        """An exhausted retry budget under crash injection aborts the
+        run; the CLI reports it in one line (exit 1), no traceback."""
+        assert main(["train", "--model", "tiny", "--clients", "2",
+                     "--local-steps", "1", "--rounds", "2",
+                     "--batch-size", "2", "--crash-prob", "0.9"]) == 1
+        err = capsys.readouterr().err
+        assert "aborted" in err and "Traceback" not in err
+
 
 class TestWarmupSchedule:
     """`--rounds 1 --local-steps 1` used to produce warmup == total

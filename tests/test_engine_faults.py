@@ -111,6 +111,10 @@ class TestDropLedger:
 
 
 class TestAsyncDeadline:
+    # Tier-2: the admit_stale arm is also gated on every PR by the CI
+    # fault-ablation benchmark; this double-run trace comparison only
+    # re-verifies the same accounting-only semantics.
+    @pytest.mark.slow
     def test_admit_stale_is_accounting_only(self):
         """admit_stale never cancels or reweights beyond the normal
         staleness discount — the trace is bit-identical to running
@@ -217,6 +221,9 @@ class TestAsyncDeadline:
         with pytest.raises(ValueError, match="fastest client cycle"):
             agg.run_round(0, 2)
 
+    # Tier-2: default-engine rerun identity is also anchored by the
+    # cheaper test_engine_async determinism tests.
+    @pytest.mark.slow
     def test_deadline_none_trace_untouched(self):
         """The equivalence guard: building the engine with all fault
         knobs at their defaults reproduces the PR-1 trace bit-exactly
