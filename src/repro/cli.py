@@ -102,6 +102,22 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--compress-broadcast", action="store_true",
                        help="also run the server broadcast through the "
                             "--compression codec")
+    train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="write rotating full-run-state checkpoints "
+                            "(weights, ServerOpt moments, event queue, "
+                            "RNG streams) under DIR")
+    train.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="checkpoint cadence in server updates "
+                            "(default 1; needs --checkpoint-dir)")
+    train.add_argument("--checkpoint-codec", default="none",
+                       help="compress the ServerOpt moments inside the "
+                            "checkpoint: none (bit-exact resume), fp16, "
+                            "int8, int4")
+    train.add_argument("--resume", default=None, metavar="DIR",
+                       help="resume from the latest run-state checkpoint "
+                            "under DIR (implies --checkpoint-dir DIR; "
+                            "--rounds is the total target)")
 
     diloco = sub.add_parser("diloco", help="run the DiLoCo baseline")
     diloco.add_argument("--model", default="tiny")
@@ -142,6 +158,14 @@ def _cmd_train(args) -> int:
 
     model = model_config(args.model)
     sampled = args.sampled or args.clients
+    if (args.resume is not None and args.checkpoint_dir is not None
+            and args.resume != args.checkpoint_dir):
+        raise ValueError(
+            "--resume and --checkpoint-dir point at different "
+            "directories; a resumed run keeps checkpointing where it "
+            "loads from"
+        )
+    checkpoint_dir = args.resume or args.checkpoint_dir
     fed = FedConfig(population=args.clients, clients_per_round=sampled,
                     local_steps=args.local_steps, rounds=args.rounds,
                     server_opt=args.server_opt, seed=args.seed,
@@ -154,7 +178,11 @@ def _cmd_train(args) -> int:
                     stat_utility_weight=args.stat_utility_weight,
                     compression=args.compression,
                     error_feedback=args.error_feedback,
-                    compress_broadcast=args.compress_broadcast)
+                    compress_broadcast=args.compress_broadcast,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=args.checkpoint_every,
+                    checkpoint_codec=args.checkpoint_codec,
+                    resume=args.resume is not None)
     optim = OptimConfig(max_lr=args.max_lr,
                         warmup_steps=_warmup_for(fed.total_client_steps),
                         schedule_steps=fed.total_client_steps,
@@ -175,6 +203,9 @@ def _cmd_train(args) -> int:
                     failure_model=failure_model,
                     client_speed_spread=args.straggler_spread)
     history = photon.train()
+    if photon.resumed_from_round is not None:
+        print(f"resumed         : round {photon.resumed_from_round} "
+              f"from {checkpoint_dir}")
     print("round  val_ppl  train_ppl")
     for record in history:
         print(f"{record.round_idx:>5}  {record.val_perplexity:>7.2f}  "
@@ -205,6 +236,11 @@ def _cmd_train(args) -> int:
               f"steps / {result.dropped_bytes:,} bytes, "
               f"{result.salvaged_steps} salvaged, "
               f"{result.deadline_misses} late admits")
+    if checkpoint_dir is not None:
+        latest = photon.run_checkpointer.latest_step()
+        print(f"checkpoints     : {checkpoint_dir} "
+              f"(every {fed.checkpoint_every or 1} round(s), "
+              f"codec={fed.checkpoint_codec}, latest step {latest})")
     return 0
 
 
@@ -308,9 +344,10 @@ def main(argv: list[str] | None = None) -> int:
         # failure, not a bug: one line, exit 1.
         print(f"repro {args.command}: aborted: {exc}", file=sys.stderr)
         return 1
-    except ValueError as exc:
+    except (ValueError, FileNotFoundError) as exc:
         # Config errors (bad flag combinations, impossible deadlines,
-        # …) are usage errors: one line on stderr, no traceback.
+        # a --resume directory without checkpoints, …) are usage
+        # errors: one line on stderr, no traceback.
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
     except KeyError as exc:

@@ -42,6 +42,7 @@ original lossless path, kept byte-exact as the regression anchor.
 
 from __future__ import annotations
 
+import json
 import struct
 import threading
 import zlib
@@ -93,6 +94,14 @@ class CodecStage:
     def backward(self, arrays: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
         raise NotImplementedError
 
+    # Checkpoint protocol (repro.fed.runstate): deterministic stages
+    # hold no state; seeded stages override with their RNG streams.
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        del state  # nothing to restore
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
 
@@ -121,6 +130,26 @@ class _SeededStage(CodecStage):
                 rng = np.random.default_rng(key)
                 self._rngs[channel] = rng
             return rng
+
+    # Checkpoint protocol (repro.fed.runstate): stochastic rounding
+    # draws advance per payload, per channel — a resumed run must pick
+    # every channel's stream up mid-sequence for wire bit-exactness.
+    # Channel tuples become JSON list keys (client ids are free-form
+    # strings, so no separator character is safe).
+    def state_dict(self) -> dict:
+        with self._lock:
+            return {"rngs": {
+                json.dumps(list(channel)): rng.bit_generator.state
+                for channel, rng in self._rngs.items()
+            }}
+
+    def load_state_dict(self, state: dict) -> None:
+        with self._lock:
+            self._rngs = {}
+            for key, rng_state in state["rngs"].items():
+                rng = np.random.default_rng()
+                rng.bit_generator.state = rng_state
+                self._rngs[tuple(json.loads(key))] = rng
 
 
 class Fp16Stage(CodecStage):
@@ -413,6 +442,21 @@ class Codec:
                   receiver: str = "") -> StateDict:
         """decode(encode(state)) — what the far end will see."""
         return self.decode(self.encode(state, sender, receiver))
+
+    # Checkpoint protocol (repro.fed.runstate): a codec's only mutable
+    # state is its stochastic stages' per-channel RNG streams.
+    def state_dict(self) -> dict:
+        return {"stages": [stage.state_dict() for stage in self.stages]}
+
+    def load_state_dict(self, state: dict) -> None:
+        stages = state["stages"]
+        if len(stages) != len(self.stages):
+            raise ValueError(
+                f"checkpoint carries {len(stages)} codec stages, this "
+                f"codec ({self.name!r}) has {len(self.stages)}"
+            )
+        for stage, stage_state in zip(self.stages, stages):
+            stage.load_state_dict(stage_state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Codec({self.name!r}, stages={self.stages!r})"

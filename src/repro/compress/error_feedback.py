@@ -72,6 +72,24 @@ class ErrorFeedback:
         self._residual = dict(snapshot)
 
     # ------------------------------------------------------------------
+    # Checkpoint protocol (repro.fed.runstate): the residuals ARE the
+    # deferred pseudo-gradient mass — losing them across a crash
+    # breaks the conservation invariant that keeps biased codecs
+    # convergent.  They are persisted exactly (never quantized): a
+    # lossy round-trip would inject phantom mass.
+    def state_dict(self) -> dict:
+        return {"residual": {
+            cid: {k: v.copy() for k, v in sd.items()}
+            for cid, sd in self._residual.items()
+        }}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._residual = {
+            cid: {k: np.asarray(v).copy() for k, v in sd.items()}
+            for cid, sd in state["residual"].items()
+        }
+
+    # ------------------------------------------------------------------
     def residual(self, client_id: str) -> StateDict | None:
         return self._residual.get(client_id)
 

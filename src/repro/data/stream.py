@@ -64,6 +64,22 @@ class TokenStream:
         self.tokens_served += self.batch_size * self.seq_len
         return tokens[:, :-1], tokens[:, 1:]
 
+    # Checkpoint protocol (repro.fed.runstate): batches are drawn from
+    # the stream's RNG, so a resumed run must continue mid-sequence to
+    # see the same data the uninterrupted run would have.
+    def state_dict(self) -> dict:
+        return {
+            "rng": None if self._rng is None else self._rng.bit_generator.state,
+            "tokens_served": self.tokens_served,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state["rng"] is not None:
+            if self._rng is None:
+                self._rng = np.random.default_rng()
+            self._rng.bit_generator.state = state["rng"]
+        self.tokens_served = int(state["tokens_served"])
+
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         while True:
             yield self.next_batch()
@@ -96,6 +112,19 @@ class CachedTokenStream:
         windows = self._cache[starts[:, None] + offsets[None, :]]
         self.tokens_served += self.batch_size * self.seq_len
         return windows[:, :-1], windows[:, 1:]
+
+    # Checkpoint protocol (repro.fed.runstate).  The cache itself is
+    # reproducible from the construction seed, so only the window-
+    # sampling stream and the served counter need to persist.
+    def state_dict(self) -> dict:
+        return {
+            "rng": self._rng.bit_generator.state,
+            "tokens_served": self.tokens_served,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self.tokens_served = int(state["tokens_served"])
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         while True:
@@ -138,6 +167,24 @@ class MixedStream:
             xs[rows] = x[: rows.size]
             ys[rows] = y[: rows.size]
         return xs, ys
+
+    # Checkpoint protocol (repro.fed.runstate): the mixture draw and
+    # every component stream advance together.
+    def state_dict(self) -> dict:
+        return {
+            "rng": self._rng.bit_generator.state,
+            "streams": [s.state_dict() for s in self.streams],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        if len(state["streams"]) != len(self.streams):
+            raise ValueError(
+                f"checkpoint carries {len(state['streams'])} component "
+                f"streams, this mixture has {len(self.streams)}"
+            )
+        for stream, stream_state in zip(self.streams, state["streams"]):
+            stream.load_state_dict(stream_state)
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         while True:

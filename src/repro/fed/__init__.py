@@ -33,6 +33,12 @@ from .postprocess import (
     PostProcessor,
     TopKSparsify,
 )
+from .runstate import (
+    RUNSTATE_VERSION,
+    RunStateCheckpointer,
+    pack_tree,
+    unpack_tree,
+)
 from .sampler import (
     AvailabilityModel,
     ClientSampler,
@@ -66,6 +72,10 @@ __all__ = [
     "Message",
     "SecureAggregator",
     "CheckpointManager",
+    "RunStateCheckpointer",
+    "RUNSTATE_VERSION",
+    "pack_tree",
+    "unpack_tree",
     "ServerOpt",
     "FedAvg",
     "FedMom",

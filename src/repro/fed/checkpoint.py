@@ -37,16 +37,34 @@ class CheckpointManager:
         self.prefix = prefix
         self._pending: list[threading.Thread] = []
         self._io_lock = threading.Lock()
+        # Pending-list bookkeeping has its own lock: save_async may be
+        # called from many client threads at once (the sync engine's
+        # pool), and a lost list update would leave wait() unaware of
+        # an in-flight write.
+        self._pending_lock = threading.Lock()
+        # Highest step the rotation has ever pruned: an async write
+        # that lands after newer saves pruned past it must not
+        # resurrect a retired checkpoint (it would sit on disk outside
+        # the keep budget until some future save pruned it again).
+        self._retired_step = None
 
     def _path(self, step: int) -> Path:
         return self.directory / f"{self.prefix}_{step:08d}.npz"
 
     def save(self, step: int, state: StateDict, metadata: dict | None = None) -> Path:
-        """Write a checkpoint and prune old ones."""
+        """Write a checkpoint and prune old ones.
+
+        Dtypes are preserved exactly — fp64 moments, integer counters
+        and uint8 payload blobs round-trip bit-for-bit (the historical
+        float32 cast silently destroyed them).  A write for a step the
+        rotation has already pruned past is skipped (see
+        :meth:`save_async`).
+        """
         path = self._path(step)
         with self._io_lock:
-            np.savez(path, **{k: np.asarray(v, dtype=np.float32)
-                              for k, v in state.items()})
+            if self._retired_step is not None and step <= self._retired_step:
+                return path  # stale async write: already rotated out
+            np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
             meta = {"step": step, **(metadata or {})}
             path.with_suffix(".json").write_text(json.dumps(meta))
             self._prune()
@@ -61,22 +79,35 @@ class CheckpointManager:
         thread = threading.Thread(
             target=self.save, args=(step, snapshot, metadata), daemon=True
         )
+        # Register before starting so a wait() racing the spawn always
+        # sees the thread; prune the list under the same lock so two
+        # concurrent save_async calls cannot drop each other's entry.
+        # A registered-but-not-yet-started thread has ident None and
+        # is_alive() False — it must survive the prune.
+        with self._pending_lock:
+            self._pending = [
+                t for t in self._pending if t.is_alive() or t.ident is None
+            ]
+            self._pending.append(thread)
         thread.start()
-        self._pending = [t for t in self._pending if t.is_alive()]
-        self._pending.append(thread)
         return thread
 
     def wait(self) -> None:
         """Block until all async checkpoint writes have finished."""
-        for thread in self._pending:
+        with self._pending_lock:
+            pending, self._pending = self._pending, []
+        for thread in pending:
             thread.join()
-        self._pending.clear()
 
     def _prune(self) -> None:
         checkpoints = self.list_checkpoints()
         for step in checkpoints[: -self.keep]:
             self._path(step).unlink(missing_ok=True)
             self._path(step).with_suffix(".json").unlink(missing_ok=True)
+        if len(checkpoints) > self.keep:
+            retired = checkpoints[-self.keep - 1]
+            if self._retired_step is None or retired > self._retired_step:
+                self._retired_step = retired
 
     def list_checkpoints(self) -> list[int]:
         """Available checkpoint steps, oldest first."""

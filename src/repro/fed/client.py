@@ -114,6 +114,37 @@ class LLMClient:
         return self._optimizer
 
     # ------------------------------------------------------------------
+    # Checkpoint protocol (repro.fed.runstate): the model workspace is
+    # overwritten by every broadcast, so a client's durable state is
+    # its data-stream RNG position, its participation counters, and —
+    # for stateful (DiLoCo-style) clients — the retained AdamW
+    # momenta.  Streams without the protocol (custom corpora) are
+    # skipped rather than rejected.
+    def state_dict(self) -> dict:
+        state: dict = {
+            "tokens_processed": self.tokens_processed,
+            "rounds_participated": self.rounds_participated,
+            "streams": [
+                s.state_dict() if hasattr(s, "state_dict") else None
+                for s in self.streams
+            ],
+        }
+        if not self.stateless and self._optimizer is not None:
+            state["optimizer"] = self._optimizer.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.tokens_processed = int(state["tokens_processed"])
+        self.rounds_participated = int(state["rounds_participated"])
+        for stream, stream_state in zip(self.streams, state["streams"]):
+            if stream_state is not None and hasattr(stream, "load_state_dict"):
+                stream.load_state_dict(stream_state)
+        if "optimizer" in state:
+            if self._optimizer is None:
+                self._make_optimizer()
+            self._optimizer.load_state_dict(state["optimizer"])
+
+    # ------------------------------------------------------------------
     def train(self, global_state: StateDict, round_info: RoundInfo) -> ClientUpdate:
         """Run the local pipeline and return the pseudo-gradient."""
         plan = self.execution_plan()

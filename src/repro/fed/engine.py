@@ -49,6 +49,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
 from typing import NamedTuple
 
 import numpy as np
@@ -164,6 +165,64 @@ def adaptive_step_weights(steps: list[int]) -> list[float]:
     return [s / total for s in steps]
 
 
+# ----------------------------------------------------------------------
+# Checkpoint serialization helpers (repro.fed.runstate): plain-data
+# forms of the value objects the async event loop holds between server
+# updates.  Message payloads are opaque bytes (already Link-encoded),
+# so an in-flight broadcast resumes without re-encoding — the client
+# will decode exactly the bytes the crashed run put on the wire.
+# ----------------------------------------------------------------------
+
+def _message_state(message: Message) -> dict:
+    return {
+        "sender": message.sender,
+        "receiver": message.receiver,
+        "payload": message.payload,
+        "metadata": dict(message.metadata),
+    }
+
+
+def _message_from(state: dict) -> Message:
+    return Message(state["sender"], state["receiver"], state["payload"],
+                   dict(state["metadata"]))
+
+
+def _update_state(update: ClientUpdate) -> dict:
+    return {
+        "client_id": update.client_id,
+        "delta": dict(update.delta),
+        "num_steps": update.num_steps,
+        "num_tokens": update.num_tokens,
+        "metrics": dict(update.metrics),
+    }
+
+
+def _update_from(state: dict) -> ClientUpdate:
+    return ClientUpdate(
+        client_id=state["client_id"],
+        delta=dict(state["delta"]),
+        num_steps=int(state["num_steps"]),
+        num_tokens=int(state["num_tokens"]),
+        metrics=dict(state["metrics"]),
+    )
+
+
+def _outcome_state(outcome) -> dict:
+    """An arrival is either a crash or a ``(pulled version, update)``
+    pair awaiting buffer admission."""
+    if isinstance(outcome, ClientFailure):
+        return {"failure": [outcome.client_id, outcome.round_idx]}
+    version, update = outcome
+    return {"version": version, "update": _update_state(update)}
+
+
+def _outcome_from(state: dict):
+    if "failure" in state:
+        client_id, round_idx = state["failure"]
+        return ClientFailure(client_id, int(round_idx))
+    return int(state["version"]), _update_from(state["update"])
+
+
 class _InFlight(NamedTuple):
     """Server-side state of one dispatched pull–train–push cycle."""
 
@@ -226,6 +285,8 @@ class RoundEngine:
                  initial_state: StateDict | None = None,
                  scheduler: ClientScheduler | None = None,
                  error_feedback: ErrorFeedback | None = None,
+                 run_checkpointer=None,
+                 checkpoint_every: int = 1,
                  init_seed: int = 0):
         if not clients:
             raise ValueError("the federation needs at least one client")
@@ -260,6 +321,17 @@ class RoundEngine:
         # Link actually runs a lossy uplink codec, so a lossless run
         # with error feedback configured stays bit-exact.
         self.error_feedback = error_feedback
+        # Full-run durability (repro.fed.runstate): a
+        # RunStateCheckpointer snapshots the ENTIRE federation —
+        # weights, ServerOpt moments, event queue, scheduler counters,
+        # EF residuals, RNG streams — every ``checkpoint_every``
+        # server updates, at the server-update boundary.
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self.run_checkpointer = run_checkpointer
+        self.checkpoint_every = checkpoint_every
 
         # Algorithm 1 L.2: initialize fresh, or warm-start from a
         # provided state (continual pre-training, Section 6).
@@ -338,17 +410,105 @@ class RoundEngine:
         raise NotImplementedError
 
     def run(self, rounds: int, local_steps: int,
-            target_perplexity: float | None = None) -> History:
+            target_perplexity: float | None = None,
+            start_round: int = 0) -> History:
         """Run ``rounds`` federated rounds; optionally stop early once
-        the validation perplexity reaches ``target_perplexity``."""
+        the validation perplexity reaches ``target_perplexity``.
+        ``start_round`` offsets the round numbering — a resumed run
+        continues the indices of the run it restored."""
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
-        for t in range(rounds):
+        for t in range(start_round, start_round + rounds):
             record = self.run_round(t, local_steps)
+            self._maybe_checkpoint()
             if (target_perplexity is not None
                     and record.val_perplexity <= target_perplexity):
                 break
         return self.history
+
+    def _maybe_checkpoint(self) -> None:
+        """Snapshot the full run state at a server-update boundary."""
+        if self.run_checkpointer is None:
+            return
+        completed = len(self.history)
+        if completed % self.checkpoint_every == 0:
+            self.run_checkpointer.save(self, completed)
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (repro.fed.runstate)
+    # ------------------------------------------------------------------
+    #: Discriminator written into checkpoints so a sync artifact
+    #: cannot be restored into an async engine (or vice versa).
+    mode = "sync"
+
+    def state_dict(self) -> dict:
+        """Full durable state of the federation this engine runs.
+
+        Covers everything a bit-exact resume needs: the global
+        weights (dtypes preserved), ServerOpt moments, scheduler
+        counters, sampler/availability/failure RNG streams, Link
+        meters and codec streams, EF residuals, every client's data-
+        stream position, the validation stream, and the run history.
+        Subclasses extend with their own event-loop state.
+        """
+        def opt(component):
+            return None if component is None else component.state_dict()
+
+        return {
+            "mode": self.mode,
+            "global_state": {k: v.copy() for k, v in self.global_state.items()},
+            "total_steps_done": self.total_steps_done,
+            "simulated_wall_time_s": self.simulated_wall_time_s,
+            "server_opt": self.server_opt.state_dict(),
+            "scheduler": self.scheduler.state_dict(),
+            "sampler": self.sampler.state_dict(),
+            "link": self.link.state_dict(),
+            "availability": opt(self.availability),
+            "failure_model": opt(self.failure_model),
+            "error_feedback": opt(self.error_feedback),
+            "walltime": opt(self.walltime),
+            "clients": {cid: c.state_dict() for cid, c in self.clients.items()},
+            "val_stream": (
+                self.val_stream.state_dict()
+                if self.val_stream is not None
+                and hasattr(self.val_stream, "state_dict") else None
+            ),
+            "history": [asdict(r) for r in self.history],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` into this (identically
+        configured) engine."""
+        if state.get("mode") != self.mode:
+            raise ValueError(
+                f"checkpoint was written by a {state.get('mode')!r} "
+                f"engine; this engine is {self.mode!r}"
+            )
+        if state["global_state"].keys() != self.global_state.keys():
+            raise KeyError("checkpoint global_state keys do not match the model")
+        self.global_state = {
+            k: np.asarray(v).copy() for k, v in state["global_state"].items()
+        }
+        self.total_steps_done = int(state["total_steps_done"])
+        self.simulated_wall_time_s = float(state["simulated_wall_time_s"])
+        self.server_opt.load_state_dict(state["server_opt"])
+        self.scheduler.load_state_dict(state["scheduler"])
+        self.sampler.load_state_dict(state["sampler"])
+        self.link.load_state_dict(state["link"])
+        for component, key in ((self.availability, "availability"),
+                               (self.failure_model, "failure_model"),
+                               (self.error_feedback, "error_feedback"),
+                               (self.walltime, "walltime")):
+            if component is not None and state.get(key) is not None:
+                component.load_state_dict(state[key])
+        if state["clients"].keys() != self.clients.keys():
+            raise KeyError("checkpoint clients do not match the federation")
+        for cid, client_state in state["clients"].items():
+            self.clients[cid].load_state_dict(client_state)
+        if (self.val_stream is not None and state.get("val_stream") is not None
+                and hasattr(self.val_stream, "load_state_dict")):
+            self.val_stream.load_state_dict(state["val_stream"])
+        self.history = History([RoundRecord(**r) for r in state["history"]])
 
 
 class SyncAggregator(RoundEngine):
@@ -1096,3 +1256,106 @@ class AsyncAggregator(RoundEngine):
             self._arrivals.extend(
                 (cid, outcomes[cid]) for cid in completed if cid not in retried
             )
+
+    # ------------------------------------------------------------------
+    # Checkpoint protocol (repro.fed.runstate)
+    # ------------------------------------------------------------------
+    mode = "async"
+
+    def state_dict(self) -> dict:
+        """Everything the event loop holds between two server updates:
+        the priority queue, in-flight broadcasts (as the exact wire
+        bytes), the staleness buffer, queued arrivals, the idle pool,
+        retry streaks and the drop ledger — a resume replays the next
+        event as if the crash never happened."""
+        state = super().state_dict()
+        state.update({
+            "buffer_size": self.buffer_size,
+            "concurrency": self.concurrency,
+            "version": self.version,
+            "clock_s": self.clock_s,
+            "seq": self._seq,
+            "events": [[t, seq, cid] for t, seq, cid in self._events],
+            "inflight": {
+                cid: {
+                    "message": _message_state(entry.message),
+                    "version": entry.version,
+                    "steps": entry.steps,
+                    "planned": entry.planned,
+                    "late": entry.late,
+                    "timed_out": entry.timed_out,
+                    "salvaged": entry.salvaged,
+                }
+                for cid, entry in self._inflight.items()
+            },
+            "buffer": [[pulled, _update_state(u)] for pulled, u in self._buffer],
+            "idle": list(self._idle),
+            "availability_deferred": sorted(self._availability_deferred),
+            "failure_streak": dict(self._failure_streak),
+            "window_retries": self._window_retries,
+            "arrivals": [[cid, _outcome_state(o)] for cid, o in self._arrivals],
+            "failed_pending": list(self._failed_pending),
+            "local_steps": self._local_steps,
+            "last_flush_clock": self._last_flush_clock,
+            "bytes_up_mark": self._bytes_up_mark,
+            "bytes_down_mark": self._bytes_down_mark,
+            "raw_up_mark": self._raw_up_mark,
+            "raw_down_mark": self._raw_down_mark,
+            "started": self._started,
+            "jitter": None if self.jitter is None else self.jitter.state_dict(),
+            "drop_ledger": self.drop_ledger.state_dict(),
+        })
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.buffer_size = (
+            None if state["buffer_size"] is None else int(state["buffer_size"])
+        )
+        self.concurrency = (
+            None if state["concurrency"] is None else int(state["concurrency"])
+        )
+        self.version = int(state["version"])
+        self.clock_s = float(state["clock_s"])
+        self._seq = int(state["seq"])
+        self._events = [
+            (float(t), int(seq), cid) for t, seq, cid in state["events"]
+        ]
+        heapq.heapify(self._events)
+        self._inflight = {
+            cid: _InFlight(
+                message=_message_from(entry["message"]),
+                version=int(entry["version"]),
+                steps=int(entry["steps"]),
+                planned=int(entry["planned"]),
+                late=bool(entry["late"]),
+                timed_out=bool(entry["timed_out"]),
+                salvaged=bool(entry["salvaged"]),
+            )
+            for cid, entry in state["inflight"].items()
+        }
+        self._buffer = [
+            (int(pulled), _update_from(u)) for pulled, u in state["buffer"]
+        ]
+        self._idle = deque(state["idle"])
+        self._availability_deferred = set(state["availability_deferred"])
+        self._failure_streak = {
+            cid: int(n) for cid, n in state["failure_streak"].items()
+        }
+        self._window_retries = int(state["window_retries"])
+        self._arrivals = deque(
+            (cid, _outcome_from(o)) for cid, o in state["arrivals"]
+        )
+        self._failed_pending = list(state["failed_pending"])
+        self._local_steps = (
+            None if state["local_steps"] is None else int(state["local_steps"])
+        )
+        self._last_flush_clock = float(state["last_flush_clock"])
+        self._bytes_up_mark = int(state["bytes_up_mark"])
+        self._bytes_down_mark = int(state["bytes_down_mark"])
+        self._raw_up_mark = int(state["raw_up_mark"])
+        self._raw_down_mark = int(state["raw_down_mark"])
+        self._started = bool(state["started"])
+        if self.jitter is not None and state.get("jitter") is not None:
+            self.jitter.load_state_dict(state["jitter"])
+        self.drop_ledger.load_state_dict(state["drop_ledger"])

@@ -28,7 +28,7 @@ via its ``failure_model``/``fault_policy`` arguments; the async
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -95,6 +95,20 @@ class FailureModel:
         if fail:
             self.failures_injected += 1
         return fail
+
+    # Checkpoint protocol (repro.fed.runstate): the crash stream must
+    # resume mid-sequence or a restored run draws different failures.
+    def state_dict(self) -> dict:
+        return {
+            "rng": self._rng.bit_generator.state,
+            "failures_injected": self.failures_injected,
+            "scripted": sorted([r, c] for r, c in self.scripted),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+        self.failures_injected = int(state["failures_injected"])
+        self.scripted = {(int(r), c) for r, c in state["scripted"]}
 
 
 @dataclass(frozen=True)
@@ -231,6 +245,17 @@ class DropLedger:
         """An over-deadline delta admitted anyway (``admit_stale``)."""
         self.total_deadline_misses += 1
         self._window_misses += 1
+
+    # Checkpoint protocol (repro.fed.runstate): both the lifetime
+    # totals and the open window (drops recorded since the last flush)
+    # survive a resume, so the per-flush windows still sum to the
+    # cumulative totals across a crash.
+    def state_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def load_state_dict(self, state: dict) -> None:
+        for f in fields(self):
+            setattr(self, f.name, int(state[f.name]))
 
     def flush(self) -> dict[str, int]:
         """Close the current window and return its totals."""

@@ -129,6 +129,33 @@ class Link:
             self.raw_bytes_received += state_bytes(state) + self.METADATA_OVERHEAD
         return state, message.metadata
 
+    _COUNTER_FIELDS = (
+        "bytes_sent", "bytes_received", "raw_bytes_sent",
+        "raw_bytes_received", "uplink_wire_bytes", "uplink_raw_bytes",
+        "downlink_wire_bytes", "downlink_raw_bytes", "messages_sent",
+    )
+
+    # Checkpoint protocol (repro.fed.runstate): the byte meters feed
+    # per-round deltas in RoundRecord, and the codecs' stochastic
+    # stages hold per-channel RNG streams; both must survive a resume
+    # for the replayed records to match the uninterrupted run.
+    def state_dict(self) -> dict:
+        state: dict = {f: getattr(self, f) for f in self._COUNTER_FIELDS}
+        if self.uplink_codec is not None:
+            state["uplink_codec"] = self.uplink_codec.state_dict()
+        if self.downlink_codec is not None:
+            state["downlink_codec"] = self.downlink_codec.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        with self._lock:
+            for f in self._COUNTER_FIELDS:
+                setattr(self, f, int(state[f]))
+        if self.uplink_codec is not None and "uplink_codec" in state:
+            self.uplink_codec.load_state_dict(state["uplink_codec"])
+        if self.downlink_codec is not None and "downlink_codec" in state:
+            self.downlink_codec.load_state_dict(state["downlink_codec"])
+
     def reset_counters(self) -> None:
         self.bytes_sent = 0
         self.bytes_received = 0

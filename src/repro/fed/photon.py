@@ -34,6 +34,7 @@ from .client import LLMClient
 from .faults import DeadlinePolicy, FailureModel, FaultPolicy
 from .link import Link
 from .postprocess import PostProcessor
+from .runstate import RunStateCheckpointer
 from .sampler import AvailabilityModel, FullParticipation, UniformSampler
 from .scheduler import ClientScheduler
 from .server_opt import make_server_opt
@@ -65,6 +66,9 @@ class PhotonResult:
     # (1.0 for the lossless default).
     total_raw_bytes: int = 0
     compression_ratio: float = 1.0
+    # Crash recovery: the server update the run was restored from
+    # (None for a run that started fresh).
+    resumed_from_round: "int | None" = None
 
 
 class Photon:
@@ -189,6 +193,27 @@ class Photon:
                                     fed_config.local_steps,
                                     fed_config.adaptive_local_steps)
 
+        # Crash-consistent run-state checkpoints (repro.fed.runstate):
+        # the whole federation — weights, ServerOpt moments, event
+        # queue, scheduler counters, RNG streams — is snapshot every
+        # checkpoint_every server updates; resume restores the latest.
+        # Like the deadline pre-flight above, a resume pointed at an
+        # empty directory fails here in milliseconds, before the
+        # (much more expensive) data build.
+        self.run_checkpointer = None
+        self.resumed_from_round: int | None = None
+        if fed_config.checkpoint_dir is not None:
+            self.run_checkpointer = RunStateCheckpointer(
+                fed_config.checkpoint_dir,
+                codec=fed_config.checkpoint_codec,
+                seed=fed_config.seed,
+            )
+            if fed_config.resume and self.run_checkpointer.latest_step() is None:
+                raise FileNotFoundError(
+                    f"no checkpoints under {fed_config.checkpoint_dir} "
+                    "to resume from"
+                )
+
         client_streams, val_stream = self._build_data(
             corpus, heterogeneity, num_shards, data_seed
         )
@@ -251,6 +276,8 @@ class Photon:
             fault_policy=fault_policy,
             scheduler=scheduler,
             error_feedback=error_feedback,
+            run_checkpointer=self.run_checkpointer,
+            checkpoint_every=fed_config.checkpoint_every or 1,
             init_seed=init_seed,
         )
         self.aggregator: RoundEngine
@@ -268,6 +295,10 @@ class Photon:
             )
         else:
             self.aggregator = Aggregator(**engine_kwargs)
+        if fed_config.resume:
+            self.resumed_from_round = self.run_checkpointer.restore(
+                self.aggregator
+            )
 
     # ------------------------------------------------------------------
     def _build_data(self, corpus, heterogeneity: float, num_shards: int,
@@ -326,8 +357,22 @@ class Photon:
 
     def train(self, rounds: int | None = None,
               target_perplexity: float | None = None) -> History:
-        """Run the federated job; returns the round history."""
+        """Run the federated job; returns the round history.
+
+        On a resumed run (``FedConfig(resume=True)``) ``rounds`` is
+        the *total* target: the restored server updates count toward
+        it and only the remainder executes — so crash + resume ends at
+        exactly the same round the uninterrupted run would have.
+        """
         rounds = rounds if rounds is not None else self.fed_config.rounds
+        if self.resumed_from_round is not None:
+            completed = len(self.aggregator.history)
+            if rounds - completed < 1:
+                return self.aggregator.history
+            return self.aggregator.run(
+                rounds - completed, self.fed_config.local_steps,
+                target_perplexity=target_perplexity, start_round=completed,
+            )
         return self.aggregator.run(
             rounds, self.fed_config.local_steps, target_perplexity=target_perplexity
         )
@@ -350,6 +395,7 @@ class Photon:
             salvaged_steps=sum(r.salvaged_steps for r in history),
             total_raw_bytes=raw,
             compression_ratio=(raw / wire if wire and raw else 1.0),
+            resumed_from_round=self.resumed_from_round,
         )
 
     # ------------------------------------------------------------------

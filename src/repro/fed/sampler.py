@@ -19,6 +19,14 @@ class ClientSampler:
     def sample(self, population: list[str], round_idx: int) -> list[str]:
         raise NotImplementedError
 
+    # Checkpoint protocol (repro.fed.runstate): samplers are stateless
+    # unless they carry an RNG stream (UniformSampler overrides).
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        del state  # nothing to restore
+
 
 class UniformSampler(ClientSampler):
     """Sample ``k`` clients per round uniformly without replacement."""
@@ -35,6 +43,12 @@ class UniformSampler(ClientSampler):
         k = min(self.k, len(population))
         idx = self._rng.choice(len(population), size=k, replace=False)
         return [population[i] for i in sorted(idx)]
+
+    def state_dict(self) -> dict:
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
 
 
 class FullParticipation(ClientSampler):
@@ -66,3 +80,10 @@ class AvailabilityModel:
         if not chosen:
             chosen = [population[int(self._rng.integers(len(population)))]]
         return chosen
+
+    # Checkpoint protocol (repro.fed.runstate).
+    def state_dict(self) -> dict:
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]

@@ -135,6 +135,32 @@ class ClientScheduler:
                 f"fairness_every_k={self.fairness_every_k})")
 
     # ------------------------------------------------------------------
+    # Checkpoint protocol (repro.fed.runstate): the fairness clock,
+    # selection counters and statistical-utility memory all steer
+    # future selections, so a resume without them diverges.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "last_selected": dict(self.last_selected),
+            "selections": dict(self.selections),
+            "last_loss": dict(self._last_loss),
+            "loss_improvement": dict(self.loss_improvement),
+            "selection_log": [[v, c] for v, c in self.selection_log],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.last_selected = {c: int(v) for c, v in state["last_selected"].items()}
+        self.selections = {c: int(v) for c, v in state["selections"].items()}
+        self._last_loss = {c: float(v) for c, v in state["last_loss"].items()}
+        self.loss_improvement = {
+            c: float(v) for c, v in state["loss_improvement"].items()
+        }
+        self.selection_log = deque(
+            ((int(v), c) for v, c in state["selection_log"]),
+            maxlen=_SELECTION_LOG_MAXLEN,
+        )
+
+    # ------------------------------------------------------------------
     def note_selected(self, client_id: str, version: int) -> None:
         """Record a dispatch (the engines call this on every issue,
         including requeues and crash retries, so the fairness clock

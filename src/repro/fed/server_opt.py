@@ -45,6 +45,19 @@ class ServerOpt:
     def reset(self) -> None:
         """Drop any momentum state (used between experiments)."""
 
+    # Checkpoint protocol (repro.fed.runstate): momentum-free
+    # optimizers have nothing to persist.
+    def state_dict(self) -> dict:
+        """Serializable optimizer state (moment trees)."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but the checkpoint "
+                f"carries optimizer state {sorted(state)}"
+            )
+
 
 class FedAvg(ServerOpt):
     """θ_{t+1} = θ_t − lr · Δ.  With lr = 1 this is exact parameter
@@ -77,6 +90,18 @@ class FedMom(ServerOpt):
 
     def reset(self) -> None:
         self._velocity = None
+
+    def state_dict(self) -> dict:
+        return {} if self._velocity is None else {
+            "velocity": {k: v.copy() for k, v in self._velocity.items()}
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = state.get("velocity")
+        self._velocity = (
+            None if velocity is None
+            else {k: np.asarray(v).copy() for k, v in velocity.items()}
+        )
 
 
 class FedAdam(ServerOpt):
@@ -114,6 +139,23 @@ class FedAdam(ServerOpt):
         self._v = None
         self._t = 0
 
+    def state_dict(self) -> dict:
+        if self._m is None:
+            return {}
+        return {
+            "m": {k: v.copy() for k, v in self._m.items()},
+            "v": {k: v.copy() for k, v in self._v.items()},
+            "t": self._t,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if not state:
+            self.reset()
+            return
+        self._m = {k: np.asarray(v).copy() for k, v in state["m"].items()}
+        self._v = {k: np.asarray(v).copy() for k, v in state["v"].items()}
+        self._t = int(state["t"])
+
 
 class NesterovOuter(ServerOpt):
     """SGD with Nesterov momentum on the pseudo-gradient — DiLoCo's
@@ -141,6 +183,18 @@ class NesterovOuter(ServerOpt):
 
     def reset(self) -> None:
         self._velocity = None
+
+    def state_dict(self) -> dict:
+        return {} if self._velocity is None else {
+            "velocity": {k: v.copy() for k, v in self._velocity.items()}
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        velocity = state.get("velocity")
+        self._velocity = (
+            None if velocity is None
+            else {k: np.asarray(v).copy() for k, v in velocity.items()}
+        )
 
 
 def make_server_opt(name: str, lr: float = 1.0, momentum: float = 0.0) -> ServerOpt:

@@ -148,6 +148,15 @@ class JitterModel:
             return 1.0
         return float(np.exp(self._rng.normal(0.0, scale)))
 
+    # Checkpoint protocol (repro.fed.runstate): jitter draws are
+    # consumed in dispatch order, so a resumed run must continue the
+    # stream exactly where the crashed one stopped.
+    def state_dict(self) -> dict:
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"JitterModel(scale={self.scale}, seed={self.seed})"
 
@@ -204,6 +213,24 @@ class WallTimeModel:
 
         return cls(config, client_compute_factors=draw(compute_spread),
                    client_bandwidth_factors=draw(bandwidth_spread))
+
+    # Checkpoint protocol (repro.fed.runstate): the per-client factors
+    # are drawn once at construction, so they are reproducible from
+    # the config seed — persisting them guards a resumed run against
+    # seed/config drift rather than against lost RNG state.
+    def state_dict(self) -> dict:
+        return {
+            "client_compute_factors": dict(self.client_compute_factors),
+            "client_bandwidth_factors": dict(self.client_bandwidth_factors),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.client_compute_factors = {
+            c: float(f) for c, f in state["client_compute_factors"].items()
+        }
+        self.client_bandwidth_factors = {
+            c: float(f) for c, f in state["client_bandwidth_factors"].items()
+        }
 
     def compute_factor(self, client_id: str) -> float:
         return self.client_compute_factors.get(client_id, 1.0)

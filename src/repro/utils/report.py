@@ -62,14 +62,17 @@ def history_to_dict(history: History, metadata: dict | None = None) -> dict:
     return {"metadata": metadata or {}, "summary": summary, "rounds": rounds}
 
 
-def format_markdown(history: History, title: str = "Run report") -> str:
+def format_markdown(history: History, title: str = "Run report",
+                    metadata: dict | None = None) -> str:
     """Render the history as a markdown table.
 
     The deadline ledger (dropped/salvaged steps, late admits) only
     earns its columns when some round actually recorded it, and the
     wire/raw compression columns only appear when raw volume was
     tracked (Link-driven runs) — hand-built histories keep the
-    compact table.
+    compact table.  ``metadata`` (e.g. ``resumed_from_round`` for a
+    crash-recovered run) renders as a footer so an artifact carries
+    its provenance.
     """
     with_ledger = any(
         r.dropped_steps or r.salvaged_steps or r.deadline_misses
@@ -120,6 +123,10 @@ def format_markdown(history: History, title: str = "Run report") -> str:
                 f"admits, {sum(r.dropped_bytes for r in history):,} bytes "
                 "wasted."
             ]
+    if metadata:
+        lines += ["", "Run metadata: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(metadata.items())
+        ) + "."]
     return "\n".join(lines)
 
 
@@ -129,7 +136,7 @@ def save_report(history: History, path: str | Path,
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(history_to_dict(history, metadata), indent=2))
-    path.with_suffix(".md").write_text(format_markdown(history))
+    path.with_suffix(".md").write_text(format_markdown(history, metadata=metadata))
     return path
 
 

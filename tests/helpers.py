@@ -1,10 +1,72 @@
-"""Shared test utilities: finite-difference gradient checking."""
+"""Shared test utilities: finite-difference gradient checking and the
+crash-injection checkpoint/resume harness."""
 
 from __future__ import annotations
+
+import tempfile
+from dataclasses import asdict
 
 import numpy as np
 
 from repro.tensor import Tensor
+
+
+# ----------------------------------------------------------------------
+# Crash-injection checkpoint/resume harness (PR 5).
+#
+# ``build_photon`` is a factory taking FedConfig field overrides and
+# returning a *fresh* Photon for the same experiment — the harness
+# uses it three times: for the uninterrupted reference run, for the
+# run it "kills" after ``kill_at`` server updates (the object is
+# simply dropped, exactly what a crash leaves behind: nothing but the
+# checkpoint directory), and for the resumed run restored from disk.
+# ----------------------------------------------------------------------
+
+def run_crash_resume(build_photon, rounds: int, kill_at: int, **checkpoint_overrides):
+    """Run uninterrupted vs kill-at-``kill_at``-then-resume.
+
+    Returns ``(full, resumed)`` Photon instances, both having
+    completed ``rounds`` server updates.
+    """
+    if not 1 <= kill_at < rounds:
+        raise ValueError(f"kill_at must be in [1, {rounds}), got {kill_at}")
+    full = build_photon()
+    full.train(rounds=rounds)
+    with tempfile.TemporaryDirectory() as tmp:
+        interrupted = build_photon(checkpoint_dir=tmp, **checkpoint_overrides)
+        interrupted.train(rounds=kill_at)
+        del interrupted  # the crash: only the checkpoint dir survives
+        resumed = build_photon(checkpoint_dir=tmp, resume=True,
+                               **checkpoint_overrides)
+        assert resumed.resumed_from_round == kill_at
+        resumed.train(rounds=rounds)
+    return full, resumed
+
+
+def assert_states_equal(a: dict, b: dict) -> None:
+    """Bit-exact equality of two state dicts (dtypes included)."""
+    assert a.keys() == b.keys()
+    for key in a:
+        assert a[key].dtype == b[key].dtype, key
+        np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+
+def assert_bit_exact_resume(full, resumed) -> None:
+    """The headline guarantee: same final weights, RoundRecords and
+    drop ledger as the uninterrupted run."""
+    ha, hb = full.history, resumed.history
+    assert len(ha) == len(hb)
+    for ra, rb in zip(ha, hb):
+        assert asdict(ra) == asdict(rb), f"round {ra.round_idx} diverged"
+    assert_states_equal(full.aggregator.global_state,
+                        resumed.aggregator.global_state)
+    ledger_a = getattr(full.aggregator, "drop_ledger", None)
+    ledger_b = getattr(resumed.aggregator, "drop_ledger", None)
+    if ledger_a is not None:
+        assert ledger_a.state_dict() == ledger_b.state_dict()
+    ra, rb = full.result(), resumed.result()
+    assert ra.total_comm_bytes == rb.total_comm_bytes
+    assert ra.tokens_processed == rb.tokens_processed
 
 
 def numeric_grad(fn, arrays: list[np.ndarray], index: int, eps: float = 1e-3) -> np.ndarray:

@@ -133,3 +133,15 @@ class TestReporting:
         assert path.with_suffix(".md").exists()
         loaded = json.loads(path.read_text())
         assert loaded["metadata"]["k"] == 1
+
+    def test_markdown_metadata_footer(self, tmp_path):
+        """Run provenance (e.g. the round a crash-recovered run
+        resumed from) rides the markdown artifact as a footer."""
+        md = format_markdown(self.make_history(),
+                             metadata={"resumed_from_round": 2,
+                                       "seed": 0})
+        assert "Run metadata: resumed_from_round=2, seed=0." in md
+        assert "Run metadata" not in format_markdown(self.make_history())
+        path = save_report(self.make_history(), tmp_path / "run.json",
+                           metadata={"resumed_from_round": 2})
+        assert "resumed_from_round=2" in path.with_suffix(".md").read_text()
