@@ -92,6 +92,28 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--stat-utility-weight", type=float, default=0.0,
                        help="utility selection: weight of the recent "
                             "loss-improvement term (true Oort; 0 = off)")
+    train.add_argument("--client-plane", choices=["eager", "vector"],
+                       default="eager",
+                       help="control-plane layout: eager keeps one live "
+                            "object per client (legacy); vector keeps "
+                            "per-client state in arrays and materializes "
+                            "clients lazily (million-client scale)")
+    train.add_argument("--cohorts", type=int, default=None,
+                       help="vector plane: number of timing archetypes "
+                            "shared across the population (O(cohorts) "
+                            "parameter memory; default: per-client draws)")
+    train.add_argument("--max-live-clients", type=int, default=None,
+                       help="vector plane: cap on simultaneously "
+                            "materialized client objects (default "
+                            "max(64, 2x sampled cohort))")
+    train.add_argument("--ef-staleness-gamma", type=float, default=1.0,
+                       help="decay error-feedback residuals by gamma^s for "
+                            "a residual banked s server versions ago "
+                            "(1 = classic EF, no decay)")
+    train.add_argument("--feasibility-quantile", type=float, default=None,
+                       help="fastest/utility selection: fold this jitter "
+                            "quantile into deadline feasibility (e.g. 0.95 "
+                            "plans for 95th-percentile cycle durations)")
     train.add_argument("--compression", default="none",
                        help="lossy update codec for client uploads: none, "
                             "fp16, int8, int4, topk:<frac>, randk:<frac>, "
@@ -176,6 +198,11 @@ def _cmd_train(args) -> int:
                     selection=args.selection, jitter=args.jitter,
                     exploration=args.exploration,
                     stat_utility_weight=args.stat_utility_weight,
+                    client_plane=args.client_plane,
+                    cohorts=args.cohorts,
+                    max_live_clients=args.max_live_clients,
+                    ef_staleness_gamma=args.ef_staleness_gamma,
+                    feasibility_quantile=args.feasibility_quantile,
                     compression=args.compression,
                     error_feedback=args.error_feedback,
                     compress_broadcast=args.compress_broadcast,
@@ -212,6 +239,12 @@ def _cmd_train(args) -> int:
               f"{record.train_perplexity:>9.2f}")
     result = photon.result()
     print(f"engine          : {fed.mode}")
+    if fed.client_plane == "vector":
+        pool = photon.clients
+        print(f"client plane    : vector ({fed.population:,} clients; "
+              f"{pool.live_count()} live, "
+              f"{pool.materializations} materialized, "
+              f"{pool.evictions} evicted)")
     if fed.selection != "random" or fed.jitter > 0:
         print(f"scheduling      : selection={fed.selection} "
               f"jitter={fed.jitter:g} exploration={fed.exploration:g}")

@@ -23,6 +23,17 @@ so ``error_feedback=True`` composes with ``compression="none"`` as a
 bit-exact no-op (the engines additionally skip EF entirely on the
 lossless path).
 
+Staleness decay (``staleness_gamma < 1``): in the async engine a
+residual banked against global version ``v`` may not be replayed until
+version ``v + s`` — by then the server has moved and the deferred
+direction is partly obsolete.  With ``gamma`` in (0, 1) the residual
+is scaled by ``gamma**s`` before reuse, shrinking the replayed mass
+geometrically in staleness.  Conservation still holds in decayed
+form: ``decoded + residual' == delta + gamma**s * residual`` exactly
+(the decay is applied once, before the add, and the invariant is over
+the decayed residual).  ``gamma=1.0`` (default) is the legacy
+bit-exact verbatim replay.
+
 Thread safety: each client's residual is touched only by that
 client's own train-and-upload exchange, which the engines never run
 concurrently for one client — the per-client layout needs no lock,
@@ -41,35 +52,59 @@ __all__ = ["ErrorFeedback"]
 class ErrorFeedback:
     """Per-client compression-residual accumulator."""
 
-    def __init__(self):
+    def __init__(self, staleness_gamma: float = 1.0):
+        if not 0.0 < staleness_gamma <= 1.0:
+            raise ValueError(
+                f"staleness_gamma must be in (0, 1], got {staleness_gamma}"
+            )
+        self.staleness_gamma = staleness_gamma
         self._residual: dict[str, StateDict] = {}
+        self._banked_version: dict[str, int] = {}
 
     # ------------------------------------------------------------------
-    def apply(self, client_id: str, delta: StateDict) -> StateDict:
+    def apply(self, client_id: str, delta: StateDict,
+              version: int | None = None) -> StateDict:
         """The state dict to *send*: fresh delta plus the client's
-        accumulated residual (the delta itself on first contact)."""
+        accumulated residual (the delta itself on first contact).
+
+        ``version`` is the current global version; when staleness
+        decay is active the residual is scaled by
+        ``gamma**(version − banked_version)`` before the add.
+        """
         residual = self._residual.get(client_id)
         if residual is None:
             return delta
+        if self.staleness_gamma < 1.0 and version is not None:
+            banked = self._banked_version.get(client_id)
+            if banked is not None:
+                staleness = max(0, version - banked)
+                if staleness > 0:
+                    factor = np.float32(self.staleness_gamma ** staleness)
+                    residual = {k: v * factor for k, v in residual.items()}
         return tree_add(delta, residual)
 
     def record(self, client_id: str, sent: StateDict,
-               decoded: StateDict) -> None:
-        """Store what the wire lost: ``residual = sent − decoded``."""
+               decoded: StateDict, version: int | None = None) -> None:
+        """Store what the wire lost: ``residual = sent − decoded``,
+        banked against ``version`` for later staleness decay."""
         self._residual[client_id] = tree_sub(sent, decoded)
+        if version is not None:
+            self._banked_version[client_id] = int(version)
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict[str, StateDict]:
-        """Shallow copy of the residual map.  Entries are replaced
-        wholesale by :meth:`record` (never mutated in place), so
-        sharing the underlying arrays is safe.  The sync engine uses
-        this to rewind residuals consumed by a retried round attempt
-        whose deltas the server discarded."""
-        return dict(self._residual)
+    def snapshot(self) -> dict:
+        """Copy of the residual map plus banked versions.  Residual
+        entries are replaced wholesale by :meth:`record` (never
+        mutated in place), so sharing the underlying arrays is safe.
+        The sync engine uses this to rewind residuals consumed by a
+        retried round attempt whose deltas the server discarded."""
+        return {"residual": dict(self._residual),
+                "versions": dict(self._banked_version)}
 
-    def restore(self, snapshot: dict[str, StateDict]) -> None:
+    def restore(self, snapshot: dict) -> None:
         """Reset the residual map to a :meth:`snapshot`."""
-        self._residual = dict(snapshot)
+        self._residual = dict(snapshot["residual"])
+        self._banked_version = dict(snapshot["versions"])
 
     # ------------------------------------------------------------------
     # Checkpoint protocol (repro.fed.runstate): the residuals ARE the
@@ -78,15 +113,22 @@ class ErrorFeedback:
     # convergent.  They are persisted exactly (never quantized): a
     # lossy round-trip would inject phantom mass.
     def state_dict(self) -> dict:
-        return {"residual": {
-            cid: {k: v.copy() for k, v in sd.items()}
-            for cid, sd in self._residual.items()
-        }}
+        return {
+            "residual": {
+                cid: {k: v.copy() for k, v in sd.items()}
+                for cid, sd in self._residual.items()
+            },
+            "banked_version": dict(self._banked_version),
+        }
 
     def load_state_dict(self, state: dict) -> None:
         self._residual = {
             cid: {k: np.asarray(v).copy() for k, v in sd.items()}
             for cid, sd in state["residual"].items()
+        }
+        self._banked_version = {
+            cid: int(v)
+            for cid, v in state.get("banked_version", {}).items()
         }
 
     # ------------------------------------------------------------------
@@ -109,8 +151,10 @@ class ErrorFeedback:
     def reset(self, client_id: str | None = None) -> None:
         if client_id is None:
             self._residual.clear()
+            self._banked_version.clear()
         else:
             self._residual.pop(client_id, None)
+            self._banked_version.pop(client_id, None)
 
     def __len__(self) -> int:
         return len(self._residual)

@@ -163,6 +163,21 @@ class FedConfig:
     moments** inside the artifact (``"int8"`` ships FedAdam's m/v at
     one byte per element, trading bit-exactness of the moments for a
     ~4x smaller optimizer footprint).
+
+    Population-scale knobs: ``client_plane`` selects how per-client
+    state is held — ``"eager"`` (legacy; every client materialized up
+    front) or ``"vector"`` (numpy arrays keyed by client index, with
+    clients materialized lazily only while training; bit-exact vs
+    eager at equal configs).  Under the vector plane ``cohorts``
+    optionally shares timing archetypes across ``cohorts`` groups
+    (O(cohorts) parameter memory) and ``max_live_clients`` bounds how
+    many :class:`~repro.fed.client.LLMClient` objects exist at once.
+
+    Carried bugfix knobs: ``ef_staleness_gamma`` decays a banked EF
+    residual by ``gamma**staleness`` before reuse (1.0 = legacy
+    verbatim replay); ``feasibility_quantile`` folds a lognormal
+    jitter quantile margin into the ranked schedulers'
+    deadline-feasibility check (None = legacy mean-only).
     """
 
     population: int = 8
@@ -191,6 +206,11 @@ class FedConfig:
     checkpoint_every: int | None = None
     checkpoint_codec: str = "none"
     resume: bool = False
+    client_plane: str = "eager"
+    cohorts: int | None = None
+    max_live_clients: int | None = None
+    ef_staleness_gamma: float = 1.0
+    feasibility_quantile: float | None = None
 
     def __post_init__(self) -> None:
         if self.clients_per_round > self.population:
@@ -268,6 +288,46 @@ class FedConfig:
             if self.checkpoint_codec != "none":
                 raise ValueError("checkpoint_codec needs a checkpoint_dir")
         _check_compression_spec(self.checkpoint_codec)
+        if self.client_plane not in ("eager", "vector"):
+            raise ValueError(
+                f"client_plane must be 'eager' or 'vector', got {self.client_plane!r}"
+            )
+        if self.client_plane == "vector" and isinstance(self.jitter, dict):
+            raise ValueError(
+                "client_plane='vector' takes a scalar jitter (per-client "
+                "dicts defeat the O(cohorts) memory model)"
+            )
+        if self.cohorts is not None:
+            if self.client_plane != "vector":
+                raise ValueError("cohorts only applies to client_plane='vector'")
+            if not 1 <= self.cohorts <= self.population:
+                raise ValueError(
+                    f"cohorts must be in [1, population], got {self.cohorts}"
+                )
+        if self.max_live_clients is not None:
+            if self.client_plane != "vector":
+                raise ValueError(
+                    "max_live_clients only applies to client_plane='vector'"
+                )
+            if self.max_live_clients < 1:
+                raise ValueError(
+                    f"max_live_clients must be >= 1, got {self.max_live_clients}"
+                )
+        if not 0.0 < self.ef_staleness_gamma <= 1.0:
+            raise ValueError(
+                f"ef_staleness_gamma must be in (0, 1], got {self.ef_staleness_gamma}"
+            )
+        if self.feasibility_quantile is not None:
+            if not 0.0 < self.feasibility_quantile < 1.0:
+                raise ValueError(
+                    "feasibility_quantile must be in (0, 1), got "
+                    f"{self.feasibility_quantile}"
+                )
+            if self.selection not in ("fastest", "utility"):
+                raise ValueError(
+                    "feasibility_quantile needs a ranked selection policy "
+                    "('fastest' or 'utility')"
+                )
 
     @property
     def jitter_active(self) -> bool:

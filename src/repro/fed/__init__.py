@@ -25,6 +25,12 @@ from .diloco import DILOCO_SERVER_LRS, build_diloco
 from .hyperopt import Candidate, TrialResult, successive_halving
 from .link import Link, Message, SecureAggregator
 from .photon import Photon, PhotonResult
+from .population import (
+    ClientPopulation,
+    LazyClientPool,
+    PopulationWallTime,
+    VectorScheduler,
+)
 from .postprocess import (
     ClipUpdate,
     Compose,
@@ -45,7 +51,7 @@ from .sampler import (
     FullParticipation,
     UniformSampler,
 )
-from .scheduler import SELECTION_POLICIES, ClientScheduler
+from .scheduler import SELECTION_POLICIES, ClientScheduler, normal_quantile
 from .server_opt import (
     FedAdam,
     FedAvg,
@@ -88,6 +94,11 @@ __all__ = [
     "AvailabilityModel",
     "ClientScheduler",
     "SELECTION_POLICIES",
+    "normal_quantile",
+    "ClientPopulation",
+    "LazyClientPool",
+    "PopulationWallTime",
+    "VectorScheduler",
     "PostProcessor",
     "Identity",
     "Compose",

@@ -21,7 +21,6 @@ from ..nn import DecoderLM
 from ..optim import AdamW, LRSchedule, clip_grad_norm
 from ..parallel import DDPEngine, ExecutionPlan, FSDPEngine, SiloSpec, select_strategy
 from ..utils.serialization import StateDict, tree_mean, tree_sub
-from .checkpoint import CheckpointManager
 from .postprocess import Identity, PostProcessor
 from .types import ClientUpdate, RoundInfo
 
@@ -61,7 +60,6 @@ class LLMClient:
                  stateless: bool = True,
                  post_process: PostProcessor | None = None,
                  proximal_mu: float = 0.0,
-                 checkpointer: CheckpointManager | None = None,
                  seed: int = 0):
         self.client_id = client_id
         self.model_config = model_config
@@ -81,9 +79,6 @@ class LLMClient:
         # divergence from the global model" [51, 52]): adds
         # mu * (theta - theta_global) to each local gradient.
         self.proximal_mu = proximal_mu
-        # Local checkpoint for quick recovery (Algorithm 1 L.26),
-        # written asynchronously so the update returns immediately.
-        self.checkpointer = checkpointer
         self.seed = seed
         # Persistent workspace model reused across rounds (avoids
         # re-allocating parameters every round).
@@ -153,11 +148,6 @@ class LLMClient:
         else:
             local_state, metrics, tokens = self._train_node(
                 global_state, round_info, self.streams[0], plan
-            )
-        if self.checkpointer is not None:
-            self.checkpointer.save_async(
-                round_info.round_idx, local_state,
-                metadata={"client": self.client_id},
             )
         delta = tree_sub(global_state, local_state)
         delta = self.post_process(delta)

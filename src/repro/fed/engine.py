@@ -122,25 +122,45 @@ def check_deadline_feasible(deadline: DeadlinePolicy | None,
     if deadline is None or not deadline.enforcing:
         return
 
-    def duration(cid: str) -> float:
-        if walltime is None:
-            return 1.0
-        steps = _planned_steps_for(walltime, cid, local_steps,
-                                   adaptive_local_steps)
-        return walltime.client_timing(cid, steps).total_s
+    if walltime is None:
+        fastest = 1.0
+        if fastest <= deadline.deadline_s:
+            return
+        # No wall-time model means no salvage either (see
+        # _cycle_salvage_steps); a sub-unit deadline is fatal.
+        raise ValueError(
+            f"deadline_s={deadline.deadline_s} is shorter than the "
+            f"fastest client cycle ({fastest:.3g}s): no update could "
+            "ever be admitted"
+        )
 
-    fastest = min(duration(cid) for cid in client_ids)
+    # One whole-population array pass instead of a per-client timing
+    # loop: elementwise bit-exact vs client_timing / adaptive_local_
+    # steps / _cycle_salvage_steps, so the error fires on exactly the
+    # same configs as the legacy walk.
+    if adaptive_local_steps:
+        steps = walltime.adaptive_steps_array(client_ids, local_steps)
+    else:
+        steps = local_steps
+    compute, comm = walltime.client_compute_comm_arrays(client_ids, steps)
+    durations = compute + comm
+    fastest = float(durations.min())
     if fastest <= deadline.deadline_s:
         return
-    if deadline.drop_policy == "admit_partial" and any(
-            _cycle_salvage_steps(
-                walltime, deadline.deadline_s, cid,
-                _planned_steps_for(walltime, cid, local_steps,
-                                   adaptive_local_steps),
-                duration(cid),
-            ) >= 1
-            for cid in client_ids):
-        return
+    if deadline.drop_policy == "admit_partial":
+        # Unjittered check, so each cycle's realized duration equals
+        # its predicted total and the salvage reduces to: whole steps
+        # fitting the post-communication budget, capped at planned-1.
+        planned = np.broadcast_to(np.asarray(steps, dtype=np.float64),
+                                  (len(client_ids),))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            per_step = compute / planned
+            budget = deadline.deadline_s - comm
+            salvage = np.minimum(planned - 1, np.floor(budget / per_step))
+        viable = ((durations > 0) & (compute > 0) & (budget > 0)
+                  & (per_step > 0) & (salvage >= 1))
+        if bool(viable.any()):
+            return
     raise ValueError(
         f"deadline_s={deadline.deadline_s} is shorter than the "
         f"fastest client cycle ({fastest:.3g}s): no update could "
@@ -291,7 +311,10 @@ class RoundEngine:
         if not clients:
             raise ValueError("the federation needs at least one client")
         self.model_config = model_config
-        self.clients = dict(clients)
+        # A LazyClientPool (vector plane) is kept as-is — copying it
+        # into a dict would materialize the whole population, the
+        # exact thing the pool exists to avoid.
+        self.clients = clients if hasattr(clients, "lease") else dict(clients)
         self.server_opt = server_opt or FedAvg(lr=1.0)
         self.sampler = sampler or FullParticipation()
         # Selection policy; the default ``random`` scheduler reproduces
@@ -360,6 +383,21 @@ class RoundEngine:
         return evaluate_perplexity(self._eval_model, self.val_stream, self.eval_batches)
 
     # ------------------------------------------------------------------
+    def _population_ids(self) -> list[str]:
+        """The population in lexicographic id order — precomputed by a
+        LazyClientPool, sorted per call for a plain dict (legacy)."""
+        if hasattr(self.clients, "lease"):
+            return self.clients.sorted_ids()
+        return sorted(self.clients)
+
+    def _ef_version(self) -> int:
+        """The global version error-feedback residuals are banked
+        against (staleness decay's clock).  The sync barrier advances
+        once per round; the async engine overrides with its server
+        version."""
+        return len(self.history)
+
+    # ------------------------------------------------------------------
     def _merge(self, updates: list[ClientUpdate],
                deltas: list[StateDict] | None = None,
                weights: list[float] | None = None) -> StateDict:
@@ -389,19 +427,27 @@ class RoundEngine:
         before encoding and banks whatever this cycle's encode lost.
         """
         state, _ = self.link.recv_state(message)
-        update = self.clients[client_id].train(state, round_info)
+        if hasattr(self.clients, "lease"):
+            # Vector plane: pin the lazily-materialized client for the
+            # duration of training so LRU eviction cannot park it
+            # mid-step (worker threads train concurrently).
+            with self.clients.lease(client_id) as client:
+                update = client.train(state, round_info)
+        else:
+            update = self.clients[client_id].train(state, round_info)
         outbound = update.delta
         ef = (self.error_feedback
               if self.link.uplink_codec is not None else None)
+        version = self._ef_version()
         if ef is not None:
-            outbound = ef.apply(client_id, outbound)
+            outbound = ef.apply(client_id, outbound, version=version)
         reply = self.link.send_state(
             outbound, sender=client_id, receiver="agg",
             metadata=update.metrics,
         )
         delta, _ = self.link.recv_state(reply)
         if ef is not None:
-            ef.record(client_id, outbound, delta)
+            ef.record(client_id, outbound, delta, version=version)
         update.delta = delta
         return update
 
@@ -467,7 +513,11 @@ class RoundEngine:
             "failure_model": opt(self.failure_model),
             "error_feedback": opt(self.error_feedback),
             "walltime": opt(self.walltime),
-            "clients": {cid: c.state_dict() for cid, c in self.clients.items()},
+            "clients": (
+                self.clients.state_dict()
+                if hasattr(self.clients, "lease")
+                else {cid: c.state_dict() for cid, c in self.clients.items()}
+            ),
             "val_stream": (
                 self.val_stream.state_dict()
                 if self.val_stream is not None
@@ -501,10 +551,15 @@ class RoundEngine:
                                (self.walltime, "walltime")):
             if component is not None and state.get(key) is not None:
                 component.load_state_dict(state[key])
-        if state["clients"].keys() != self.clients.keys():
-            raise KeyError("checkpoint clients do not match the federation")
-        for cid, client_state in state["clients"].items():
-            self.clients[cid].load_state_dict(client_state)
+        if hasattr(self.clients, "lease"):
+            # Pool checkpoints carry only the touched clients; the
+            # pool validates every id against its population.
+            self.clients.load_state_dict(state["clients"])
+        else:
+            if state["clients"].keys() != self.clients.keys():
+                raise KeyError("checkpoint clients do not match the federation")
+            for cid, client_state in state["clients"].items():
+                self.clients[cid].load_state_dict(client_state)
         if (self.val_stream is not None and state.get("val_stream") is not None
                 and hasattr(self.val_stream, "load_state_dict")):
             self.val_stream.load_state_dict(state["val_stream"])
@@ -523,7 +578,7 @@ class SyncAggregator(RoundEngine):
     # ------------------------------------------------------------------
     def run_round(self, round_idx: int, local_steps: int) -> RoundRecord:
         """Execute one federated round (Algorithm 1 L.3–11)."""
-        population = sorted(self.clients)
+        population = self._population_ids()
         if self.availability is not None:
             population = self.availability.available(population, round_idx)
         # Selection routes through the scheduler: ``random`` returns
@@ -535,6 +590,10 @@ class SyncAggregator(RoundEngine):
             duration_fn=lambda cid: (
                 self.walltime.client_timing(cid, local_steps).total_s
                 if self.walltime is not None else 1.0
+            ),
+            duration_array_fn=(
+                (lambda ids: self.walltime.client_total_s_array(ids, local_steps))
+                if self.walltime is not None else None
             ),
         )
 
@@ -785,6 +844,11 @@ class AsyncAggregator(RoundEngine):
     # ------------------------------------------------------------------
     # Dispatch / completion machinery
     # ------------------------------------------------------------------
+    def _ef_version(self) -> int:
+        # Async: server updates applied so far (the buffer's staleness
+        # reference), not the flush-history length.
+        return self.version
+
     def _base_duration_s(self, client_id: str, local_steps: int) -> float:
         """Deterministic (unjittered) cycle duration — also the
         scheduler's prediction of a pull–train–push cycle."""
@@ -805,6 +869,18 @@ class AsyncAggregator(RoundEngine):
         (planned steps, no jitter) — what selection policies rank on."""
         return self._base_duration_s(client_id, self._planned_steps(client_id))
 
+    def _predict_cycle_array(self, client_ids: list[str]) -> np.ndarray:
+        """Batch :meth:`_predict_cycle_s` — the scheduler's
+        ``duration_array_fn`` fast path, elementwise bit-exact."""
+        if self.walltime is None:
+            return np.ones(len(client_ids), dtype=np.float64)
+        if self.adaptive_local_steps:
+            steps = self.walltime.adaptive_steps_array(
+                client_ids, self._local_steps)
+        else:
+            steps = self._local_steps
+        return self.walltime.client_total_s_array(client_ids, steps)
+
     def _planned_steps(self, client_id: str) -> int:
         """Local steps for the next pull: nominal, or scaled down by
         the client's compute slowdown under ``adaptive_local_steps``."""
@@ -818,13 +894,20 @@ class AsyncAggregator(RoundEngine):
         return _cycle_salvage_steps(self.walltime, self.deadline.deadline_s,
                                     client_id, planned, duration)
 
-    def _dispatch(self, client_id: str) -> None:
+    def _dispatch(self, client_id: str, planned: int | None = None,
+                  duration: float | None = None) -> None:
         """Send the current global model to ``client_id`` and schedule
         its completion event — or, when an enforcing deadline already
         knows the cycle cannot finish in time, its cancellation (or
-        ``admit_partial`` salvage) event at the deadline."""
-        planned = self._planned_steps(client_id)
-        duration = self._client_duration_s(client_id, planned)
+        ``admit_partial`` salvage) event at the deadline.
+
+        ``planned``/``duration`` let :meth:`_dispatch_batch` hand in
+        values computed as whole-wave array ops; when omitted they are
+        computed per client exactly as before."""
+        if planned is None:
+            planned = self._planned_steps(client_id)
+        if duration is None:
+            duration = self._client_duration_s(client_id, planned)
         steps = planned
         late = (self.deadline is not None
                 and duration > self.deadline.deadline_s)
@@ -847,6 +930,34 @@ class AsyncAggregator(RoundEngine):
         self._seq += 1
         self.scheduler.note_selected(client_id, self.version)
 
+    def _dispatch_batch(self, dispatch: list[str]) -> None:
+        """Dispatch one wave with planned steps, base durations and
+        jitter factors computed as whole-wave array ops.
+
+        Bit-exact vs per-client :meth:`_dispatch`: the timing math is
+        elementwise-identical, and the batch jitter draw consumes the
+        RNG stream exactly like the scalar draws in dispatch order
+        (:meth:`~repro.net.walltime.JitterModel.factors`).
+        """
+        if not dispatch:
+            return
+        if len(dispatch) == 1 or self.walltime is None:
+            # Small waves (and the unit clock) gain nothing from the
+            # array path; the scalar path is the reference anyway.
+            for client_id in dispatch:
+                self._dispatch(client_id)
+            return
+        if self.adaptive_local_steps:
+            planned = self.walltime.adaptive_steps_array(
+                dispatch, self._local_steps)
+        else:
+            planned = np.full(len(dispatch), self._local_steps, dtype=np.int64)
+        durations = self.walltime.client_total_s_array(dispatch, planned)
+        if self.jitter is not None:
+            durations = durations * self.jitter.factors(dispatch)
+        for client_id, p, d in zip(dispatch, planned, durations):
+            self._dispatch(client_id, planned=int(p), duration=float(d))
+
     def _refill(self, slots: int) -> None:
         """Issue up to ``slots`` dispatches from the idle queue, with
         the *scheduler* choosing who gets them.
@@ -862,24 +973,34 @@ class AsyncAggregator(RoundEngine):
         cannot stall.
         """
         if self._idle and slots > 0:
-            if self.availability is not None:
-                reachable = set(
-                    self.availability.available(list(self._idle), self.version)
-                )
+            if self.availability is None and self.scheduler.policy == "random":
+                # Fast path for the always-reachable FIFO queue: pop
+                # from the deque instead of rebuilding O(N) candidate
+                # lists per wave.  Bit-exact vs select_async with an
+                # all-reachable pool (FIFO order, no RNG consumed).
+                self._availability_deferred = set()
+                dispatch = [self._idle.popleft()
+                            for _ in range(min(slots, len(self._idle)))]
+                self._dispatch_batch(dispatch)
             else:
-                reachable = set(self._idle)
-            self._availability_deferred = set(self._idle) - reachable
-            # The engine's deadline is the feasibility fallback when
-            # the scheduler was built without one of its own.
-            dispatch, leftover = self.scheduler.select_async(
-                list(self._idle), reachable, slots, self.version,
-                self._predict_cycle_s,
-                deadline_s=(self.deadline.deadline_s
-                            if self.deadline is not None else None),
-            )
-            self._idle = deque(leftover)
-            for client_id in dispatch:
-                self._dispatch(client_id)
+                if self.availability is not None:
+                    reachable = set(
+                        self.availability.available(list(self._idle), self.version)
+                    )
+                else:
+                    reachable = set(self._idle)
+                self._availability_deferred = set(self._idle) - reachable
+                # The engine's deadline is the feasibility fallback when
+                # the scheduler was built without one of its own.
+                dispatch, leftover = self.scheduler.select_async(
+                    list(self._idle), reachable, slots, self.version,
+                    self._predict_cycle_s,
+                    deadline_s=(self.deadline.deadline_s
+                                if self.deadline is not None else None),
+                    duration_array_fn=self._predict_cycle_array,
+                )
+                self._idle = deque(leftover)
+                self._dispatch_batch(dispatch)
         if not self._events and self._idle:
             # Nobody reachable and nothing in flight: keep one client
             # training (mirrors AvailabilityModel's floor).
@@ -902,7 +1023,7 @@ class AsyncAggregator(RoundEngine):
         self._bytes_down_mark = self.link.bytes_sent
         self._raw_up_mark = self.link.raw_bytes_received
         self._raw_down_mark = self.link.raw_bytes_sent
-        population = sorted(self.clients)
+        population = self._population_ids()
         selected = self.sampler.sample(population, 0)
         if self.buffer_size is None:
             self.buffer_size = len(selected)
@@ -912,7 +1033,10 @@ class AsyncAggregator(RoundEngine):
                                 self._local_steps, self.adaptive_local_steps)
         # Sampled cohort trains first; the rest of the population joins
         # the round-robin idle queue behind it.
-        self._idle = deque(selected + [c for c in population if c not in selected])
+        selected_set = set(selected)
+        self._idle = deque(
+            selected + [c for c in population if c not in selected_set]
+        )
         self._refill(min(self.concurrency, len(self._idle)))
         self._started = True
 
@@ -1026,6 +1150,7 @@ class AsyncAggregator(RoundEngine):
         dispatch, _ = self.scheduler.select_async(
             pool, set(pool), 1, self.version, self._predict_cycle_s,
             deadline_s=self.deadline.deadline_s,
+            duration_array_fn=self._predict_cycle_array,
         )
         chosen = set(dispatch)
         # Rebuild the idle pool in order, keeping deferred clients in

@@ -23,7 +23,12 @@ from ..compress import ErrorFeedback, make_codec
 from ..config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
 from ..data.sharding import assign_shards
 from ..data.stream import BatchStream, CachedTokenStream, MixedStream
-from ..data.synthetic import SyntheticC4, SyntheticPile
+from ..data.synthetic import (
+    PILE_SOURCE_NAMES,
+    MarkovSource,
+    SyntheticC4,
+    SyntheticPile,
+)
 from ..net.comm import federated_volume, reduction_factor
 from ..net.walltime import JitterModel, WallTimeModel
 from ..optim import LRSchedule, WarmupCosine
@@ -33,6 +38,12 @@ from .engine import AsyncAggregator, RoundEngine, check_deadline_feasible
 from .client import LLMClient
 from .faults import DeadlinePolicy, FailureModel, FaultPolicy
 from .link import Link
+from .population import (
+    ClientPopulation,
+    LazyClientPool,
+    PopulationWallTime,
+    VectorScheduler,
+)
 from .postprocess import PostProcessor
 from .runstate import RunStateCheckpointer
 from .sampler import AvailabilityModel, FullParticipation, UniformSampler
@@ -163,18 +174,50 @@ class Photon:
             self.optim_config.alpha_min,
         )
 
+        # Vectorized control plane (repro.fed.population): per-client
+        # state lives in arrays keyed by client index, clients are
+        # materialized lazily, and scheduling runs as whole-population
+        # array ops — O(cohorts + active clients) memory.
+        vector_plane = fed_config.client_plane == "vector"
+        self.population: ClientPopulation | None = None
+        if vector_plane:
+            if isinstance(corpus, dict):
+                raise ValueError(
+                    "client_plane='vector' needs a named corpus ('c4' or "
+                    "'pile'); a prebuilt stream dict is inherently eager"
+                )
+            if fed_config.cohorts is not None:
+                self.population = ClientPopulation.cohorts(
+                    fed_config.population, fed_config.cohorts,
+                    compute_spread=client_speed_spread,
+                    bandwidth_spread=client_speed_spread,
+                    seed=fed_config.seed,
+                )
+            else:
+                # Bit-exact anchor: same factor draws as the eager
+                # plane's WallTimeModel.heterogeneous over sorted ids.
+                self.population = ClientPopulation.heterogeneous(
+                    fed_config.population,
+                    compute_spread=client_speed_spread,
+                    bandwidth_spread=client_speed_spread,
+                    seed=fed_config.seed,
+                )
+
         # Client ids are fixed by the corpus shape, so the wall-time
         # model and the deadline feasibility check can run *before*
         # the (much more expensive) data build — an impossible
         # deadline fails in milliseconds, not after caching every
         # shard stream.
         client_ids = (
-            sorted(corpus) if isinstance(corpus, dict)
+            list(self.population.sorted_ids) if self.population is not None
+            else sorted(corpus) if isinstance(corpus, dict)
             else sorted(f"client{i}" for i in range(fed_config.population))
         )
         walltime = None
         if walltime_config is not None:
-            if client_speed_spread > 1.0:
+            if self.population is not None:
+                walltime = PopulationWallTime(walltime_config, self.population)
+            elif client_speed_spread > 1.0:
                 walltime = WallTimeModel.heterogeneous(
                     walltime_config, client_ids,
                     compute_spread=client_speed_spread,
@@ -214,22 +257,46 @@ class Photon:
                     "to resume from"
                 )
 
-        client_streams, val_stream = self._build_data(
-            corpus, heterogeneity, num_shards, data_seed
-        )
-        clients = {
-            cid: LLMClient(
-                client_id=cid,
-                model_config=model_config,
-                streams=stream,
-                optim=self.optim_config,
-                schedule=self.schedule,
-                stateless=fed_config.stateless_clients,
-                post_process=post_process,
-                seed=init_seed,
+        if self.population is not None:
+            stream_factory, val_stream = self._build_stream_factory(
+                corpus, heterogeneity, num_shards, data_seed
             )
-            for cid, stream in client_streams.items()
-        }
+            population = self.population
+
+            def make_client(cid: str) -> LLMClient:
+                return LLMClient(
+                    client_id=cid,
+                    model_config=model_config,
+                    streams=stream_factory(population.index_of(cid)),
+                    optim=self.optim_config,
+                    schedule=self.schedule,
+                    stateless=fed_config.stateless_clients,
+                    post_process=post_process,
+                    seed=init_seed,
+                )
+
+            clients: LazyClientPool | dict[str, LLMClient] = LazyClientPool(
+                population, make_client,
+                max_live=(fed_config.max_live_clients
+                          or max(64, 2 * fed_config.clients_per_round)),
+            )
+        else:
+            client_streams, val_stream = self._build_data(
+                corpus, heterogeneity, num_shards, data_seed
+            )
+            clients = {
+                cid: LLMClient(
+                    client_id=cid,
+                    model_config=model_config,
+                    streams=stream,
+                    optim=self.optim_config,
+                    schedule=self.schedule,
+                    stateless=fed_config.stateless_clients,
+                    post_process=post_process,
+                    seed=init_seed,
+                )
+                for cid, stream in client_streams.items()
+            }
         sampler = (
             FullParticipation()
             if fed_config.clients_per_round >= fed_config.population
@@ -238,18 +305,32 @@ class Photon:
         availability = (
             AvailabilityModel(uptime, seed=fed_config.seed) if uptime < 1.0 else None
         )
-        scheduler = ClientScheduler(
-            fed_config.selection,
+        # Built once, shared between the scheduler (feasibility margin
+        # — reads scales, never the RNG) and the async engine (per-
+        # dispatch draws), so the draw stream stays engine-only.
+        jitter_model = (
+            JitterModel(fed_config.jitter, seed=fed_config.seed)
+            if fed_config.jitter_active else None
+        )
+        scheduler_kwargs = dict(
             deadline_s=fed_config.deadline,
             exploration=fed_config.exploration,
             stat_utility_weight=fed_config.stat_utility_weight,
+            feasibility_quantile=fed_config.feasibility_quantile,
+            jitter=jitter_model,
+        )
+        scheduler = (
+            VectorScheduler(self.population, fed_config.selection,
+                            **scheduler_kwargs)
+            if self.population is not None
+            else ClientScheduler(fed_config.selection, **scheduler_kwargs)
         )
         # Lossy update transport (repro.compress): uploads always ride
         # the codec, the broadcast only when asked; "none" keeps the
         # legacy lossless Link byte-exactly (codec is None).
         codec = make_codec(fed_config.compression, seed=fed_config.seed)
         error_feedback = (
-            ErrorFeedback()
+            ErrorFeedback(staleness_gamma=fed_config.ef_staleness_gamma)
             if fed_config.error_feedback and codec is not None else None
         )
         engine_kwargs = dict(
@@ -289,8 +370,7 @@ class Photon:
                 buffer_size=fed_config.buffer_size or fed_config.clients_per_round,
                 deadline=deadline,
                 adaptive_local_steps=fed_config.adaptive_local_steps,
-                jitter=(JitterModel(fed_config.jitter, seed=fed_config.seed)
-                        if fed_config.jitter_active else None),
+                jitter=jitter_model,
                 **engine_kwargs,
             )
         else:
@@ -346,9 +426,66 @@ class Photon:
 
         raise ValueError(f"unknown corpus {corpus!r}; use 'c4', 'pile' or a stream dict")
 
+    def _build_stream_factory(self, corpus: str, heterogeneity: float,
+                              num_shards: int, data_seed: int):
+        """Lazy analogue of :meth:`_build_data`: returns
+        ``(factory, val_stream)`` where ``factory(i)`` builds client
+        ``i``'s stream on demand — stream-for-stream identical to the
+        eager build (same sources, same seeds), but O(1) memory until
+        a client actually trains."""
+        batch = self.optim_config.batch_size
+        seq_len = self.model_config.seq_len
+        vocab = self.model_config.vocab_size
+        population = self.fed_config.population
+
+        if corpus == "c4":
+            c4 = SyntheticC4(num_shards=num_shards, vocab=vocab, seed=data_seed)
+            groups = assign_shards(num_shards, population, seed=data_seed)
+
+            def factory(i: int) -> BatchStream:
+                components = [
+                    CachedTokenStream(c4.shard(s), batch, seq_len,
+                                      seed=data_seed + s)
+                    for s in groups[i]
+                ]
+                return (components[0] if len(components) == 1
+                        else MixedStream(components, seed=data_seed + i))
+
+            val = CachedTokenStream(c4.validation(), batch, seq_len,
+                                    seed=data_seed - 1)
+            return factory, val
+
+        if corpus == "pile":
+            pile = SyntheticPile(vocab=vocab, seed=data_seed,
+                                 heterogeneity=heterogeneity)
+            if population % len(PILE_SOURCE_NAMES) != 0:
+                raise ValueError(
+                    f"population must be a multiple of "
+                    f"{len(PILE_SOURCE_NAMES)}, got {population}"
+                )
+            splits = population // len(PILE_SOURCE_NAMES)
+
+            def factory(i: int) -> BatchStream:
+                # Replicates SyntheticPile.client_sources(population)[i]
+                # without materializing the other population-1 sources.
+                name = PILE_SOURCE_NAMES[i // splits]
+                src = MarkovSource(
+                    pile.sources[name].kernel,
+                    seed=5000 + data_seed * 131 + i,
+                    name=f"{name}-part{i % splits}",
+                )
+                return CachedTokenStream(src, batch, seq_len,
+                                         seed=data_seed + i)
+
+            val = CachedTokenStream(pile.validation(), batch, seq_len,
+                                    seed=data_seed - 1)
+            return factory, val
+
+        raise ValueError(f"unknown corpus {corpus!r}; use 'c4' or 'pile'")
+
     # ------------------------------------------------------------------
     @property
-    def clients(self) -> dict[str, LLMClient]:
+    def clients(self) -> "dict[str, LLMClient] | LazyClientPool":
         return self.aggregator.clients
 
     @property
@@ -386,7 +523,11 @@ class Photon:
             history=history,
             total_comm_bytes=wire,
             simulated_wall_time_s=self.aggregator.simulated_wall_time_s,
-            tokens_processed=sum(c.tokens_processed for c in self.clients.values()),
+            tokens_processed=(
+                self.clients.total_tokens_processed()
+                if hasattr(self.clients, "total_tokens_processed")
+                else sum(c.tokens_processed for c in self.clients.values())
+            ),
             final_perplexity=ppls[-1] if ppls else float("nan"),
             best_perplexity=min(ppls) if ppls else float("nan"),
             dropped_steps=sum(r.dropped_steps for r in history),

@@ -70,10 +70,16 @@ class AvailabilityModel:
         self.uptime = uptime
         self._rng = np.random.default_rng(seed)
 
+    def draw_mask(self, n: int) -> np.ndarray:
+        """One Bernoulli draw per client, in population order — the
+        whole-population array op the vectorized plane consumes (and
+        the exact RNG stream the legacy list path consumed)."""
+        return self._rng.random(n) < self.uptime
+
     def available(self, population: list[str], round_idx: int) -> list[str]:
         if self.uptime >= 1.0:
             return list(population)
-        mask = self._rng.random(len(population)) < self.uptime
+        mask = self.draw_mask(len(population))
         chosen = [c for c, m in zip(population, mask) if m]
         # Never return an empty federation: keep at least one client,
         # matching the paper's "surviving workers" partial updates.

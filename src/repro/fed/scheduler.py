@@ -43,10 +43,13 @@ of the simulation maintains.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Callable, Iterable, Sequence
 
-__all__ = ["ClientScheduler", "SELECTION_POLICIES"]
+import numpy as np
+
+__all__ = ["ClientScheduler", "SELECTION_POLICIES", "normal_quantile"]
 
 SELECTION_POLICIES = ("random", "fastest", "utility")
 
@@ -58,6 +61,43 @@ _DEFAULT_HORIZON = 8
 _SELECTION_LOG_MAXLEN = 65_536
 
 DurationFn = Callable[[str], float]
+
+#: Batch variant: maps a list of client ids to an ndarray of predicted
+#: cycle durations, same order.  ``None`` means "no batch path" and the
+#: scalar ``DurationFn`` is called per client.
+DurationArrayFn = Callable[[Sequence[str]], "object"]
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation,
+    |relative error| < 1.15e-9 — scipy-free on purpose: the container
+    ships only numpy)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"quantile probability must be in (0, 1), got {p}")
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1)
 
 
 class ClientScheduler:
@@ -85,13 +125,31 @@ class ClientScheduler:
         Hard floor: a client unselected for this many server versions
         is selected ahead of any scoring.  ``None`` disables the
         floor (useful to demonstrate starvation).
+    feasibility_quantile:
+        Jitter-aware feasibility margin (PR 3 bugfix): the mean
+        predicted cycle alone admits high-jitter clients into deadline
+        slots they routinely miss, because the lognormal noise is
+        applied *after* selection.  With a quantile ``q`` the ranked
+        policies inflate each candidate's predicted duration to its
+        q-th jitter quantile — ``duration * exp(z_q * scale)`` where
+        ``z_q`` is the standard-normal quantile and ``scale`` the
+        client's jitter scale — before the feasibility check and the
+        speed score.  ``None`` (default) keeps the legacy mean-only
+        prediction bit-exactly.
+    jitter:
+        The :class:`~repro.net.walltime.JitterModel` supplying
+        per-client scales for the margin (only ``scale_for`` /
+        ``scales_for`` are consulted — the margin never draws from the
+        model's RNG).  Ignored unless ``feasibility_quantile`` is set.
     """
 
     def __init__(self, policy: str = "random", *,
                  deadline_s: float | None = None,
                  exploration: float = 1.0,
                  stat_utility_weight: float = 0.0,
-                 fairness_every_k: int | None = 8):
+                 fairness_every_k: int | None = 8,
+                 feasibility_quantile: float | None = None,
+                 jitter=None):
         if policy not in SELECTION_POLICIES:
             raise ValueError(
                 f"selection policy must be one of {SELECTION_POLICIES}, "
@@ -110,11 +168,19 @@ class ClientScheduler:
             raise ValueError(
                 f"fairness_every_k must be >= 1 or None, got {fairness_every_k}"
             )
+        if feasibility_quantile is not None and not 0.0 < feasibility_quantile < 1.0:
+            raise ValueError(
+                f"feasibility_quantile must be in (0, 1), got {feasibility_quantile}"
+            )
         self.policy = policy
         self.deadline_s = deadline_s
         self.exploration = exploration
         self.stat_utility_weight = stat_utility_weight
         self.fairness_every_k = fairness_every_k
+        self.feasibility_quantile = feasibility_quantile
+        self.jitter = jitter
+        self._margin_z = (normal_quantile(feasibility_quantile)
+                          if feasibility_quantile is not None else 0.0)
         #: server version at each client's most recent selection.
         self.last_selected: dict[str, int] = {}
         #: total dispatches per client (includes retries/requeues).
@@ -220,11 +286,36 @@ class ClientScheduler:
         return score
 
     # ------------------------------------------------------------------
+    @property
+    def _margin_active(self) -> bool:
+        return self.feasibility_quantile is not None and self.jitter is not None
+
+    def _margin(self, client_id: str) -> float:
+        """Multiplicative jitter-quantile inflation of a predicted
+        duration: ``exp(z_q * scale)`` (1.0 for jitter-free clients)."""
+        if not self._margin_active:
+            return 1.0
+        scale = self.jitter.scale_for(client_id)
+        if scale <= 0:
+            return 1.0
+        # np.exp, not math.exp: the vectorized plane computes margins
+        # as whole-array np.exp, which is bit-identical to scalar
+        # np.exp but NOT to libm's math.exp.
+        return float(np.exp(self._margin_z * scale))
+
     def _rank(self, candidates: list[str], version: int,
               duration_fn: DurationFn,
-              deadline_s: float | None) -> list[str]:
-        """Order ``candidates`` best-first under the active policy."""
-        durations = {c: duration_fn(c) for c in candidates}
+              deadline_s: float | None,
+              duration_array_fn: DurationArrayFn | None = None) -> list[str]:
+        """Order ``candidates`` best-first under the active policy.
+
+        ``duration_array_fn`` is the batch fast path used by the
+        vectorized subclass; the base implementation ignores it.
+        """
+        if self._margin_active:
+            durations = {c: duration_fn(c) * self._margin(c) for c in candidates}
+        else:
+            durations = {c: duration_fn(c) for c in candidates}
         if self.policy == "fastest":
             return sorted(candidates, key=lambda c: (durations[c], c))
         # utility: fairness-floor clients first, then feasible clients
@@ -267,6 +358,7 @@ class ClientScheduler:
     def select_async(self, idle: Sequence[str], reachable: set[str],
                      slots: int, version: int, duration_fn: DurationFn,
                      deadline_s: float | None = None,
+                     duration_array_fn: DurationArrayFn | None = None,
                      ) -> tuple[list[str], list[str]]:
         """Choose up to ``slots`` clients to dispatch now.
 
@@ -282,26 +374,29 @@ class ClientScheduler:
         if slots <= 0 or not idle:
             return [], list(idle)
         if self.policy == "random":
-            # Legacy loop, verbatim semantics: walk the queue once,
-            # dispatch reachable clients until the slots run out,
-            # rotate unreachable ones to the back.
+            # Legacy semantics (walk the queue once, dispatch reachable
+            # clients until the slots run out, rotate unreachable ones
+            # to the back) without the old O(N^2) ``pop(0)`` walk: the
+            # cursor sweep below visits the same clients in the same
+            # order and leaves the same queue behind.
             queue = list(idle)
             dispatch: list[str] = []
             deferred: list[str] = []
-            scanned = 0
-            while queue and scanned < len(idle):
+            pos = 0
+            while pos < len(queue):
                 if len(dispatch) == slots:
                     break
-                client_id = queue.pop(0)
-                scanned += 1
+                client_id = queue[pos]
+                pos += 1
                 if client_id in reachable:
                     dispatch.append(client_id)
                 else:
                     deferred.append(client_id)
-            return dispatch, queue + deferred
+            return dispatch, queue[pos:] + deferred
         candidates = [c for c in idle if c in reachable]
         ranked = self._rank(candidates, version, duration_fn,
-                            self._effective_deadline(deadline_s))
+                            self._effective_deadline(deadline_s),
+                            duration_array_fn)
         dispatch = ranked[:slots]
         chosen = set(dispatch)
         leftover = [c for c in idle if c not in chosen]
@@ -311,8 +406,9 @@ class ClientScheduler:
     # Sync engine: which clients form the round's cohort.
     # ------------------------------------------------------------------
     def select_cohort(self, population: Sequence[str], round_idx: int,
-                      default: list[str],
-                      duration_fn: DurationFn) -> list[str]:
+                      default: list[str], duration_fn: DurationFn,
+                      duration_array_fn: DurationArrayFn | None = None,
+                      ) -> list[str]:
         """Choose the synchronous round's cohort.
 
         ``default`` is the configured sampler's draw — the ``random``
@@ -325,7 +421,8 @@ class ClientScheduler:
             cohort = list(default)
         else:
             cohort = self._rank(list(population), round_idx, duration_fn,
-                                self._effective_deadline(None))[:len(default)]
+                                self._effective_deadline(None),
+                                duration_array_fn)[:len(default)]
             cohort.sort()  # rounds treat the cohort as a set
         for client_id in cohort:
             self.note_selected(client_id, round_idx)

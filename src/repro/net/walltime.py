@@ -148,6 +148,28 @@ class JitterModel:
             return 1.0
         return float(np.exp(self._rng.normal(0.0, scale)))
 
+    def scales_for(self, client_ids: list[str]) -> np.ndarray:
+        """Per-client sigmas as one array (RNG untouched)."""
+        if isinstance(self.scale, dict):
+            return np.array([self.scale.get(c, 0.0) for c in client_ids],
+                            dtype=np.float64)
+        return np.full(len(client_ids), float(self.scale), dtype=np.float64)
+
+    def factors(self, client_ids: list[str]) -> np.ndarray:
+        """Batch :meth:`factor` for one dispatch wave, in order.
+
+        Bit-exact vs the scalar loop: zero-scale clients consume no
+        RNG and return exactly 1.0, and ``Generator.normal`` with a
+        sigma *array* draws the same deviates in the same order as the
+        equivalent sequence of scalar calls.
+        """
+        scales = self.scales_for(client_ids)
+        out = np.ones(len(client_ids), dtype=np.float64)
+        nz = np.flatnonzero(scales)
+        if nz.size:
+            out[nz] = np.exp(self._rng.normal(0.0, scales[nz]))
+        return out
+
     # Checkpoint protocol (repro.fed.runstate): jitter draws are
     # consumed in dispatch order, so a resumed run must continue the
     # stream exactly where the crashed one stopped.
@@ -237,6 +259,44 @@ class WallTimeModel:
 
     def bandwidth_factor(self, client_id: str) -> float:
         return self.client_bandwidth_factors.get(client_id, 1.0)
+
+    def _factor_arrays(self, client_ids: list[str]) -> tuple[np.ndarray, np.ndarray]:
+        """(compute, bandwidth) slowdown factors as arrays, in order.
+        Subclasses backed by index arrays override this with a gather."""
+        compute = np.array([self.compute_factor(c) for c in client_ids],
+                           dtype=np.float64)
+        bandwidth = np.array([self.bandwidth_factor(c) for c in client_ids],
+                             dtype=np.float64)
+        return compute, bandwidth
+
+    def client_compute_comm_arrays(
+            self, client_ids: list[str],
+            local_steps: "int | np.ndarray") -> tuple[np.ndarray, np.ndarray]:
+        """Batch :meth:`client_timing`: per-client (compute_s, comm_s)
+        arrays, elementwise bit-exact vs the scalar path.
+        ``local_steps`` may be a scalar or a per-client array (the
+        adaptive-steps case)."""
+        cf, bf = self._factor_arrays(client_ids)
+        compute = (np.asarray(local_steps, dtype=np.float64)
+                   / self.config.throughput) * cf
+        comm = 2.0 * self.config.model_mb / (self.config.bandwidth_mbps / bf)
+        return compute, comm
+
+    def client_total_s_array(self, client_ids: list[str],
+                             local_steps: "int | np.ndarray") -> np.ndarray:
+        """Batch ``client_timing(...).total_s`` (no overlap)."""
+        compute, comm = self.client_compute_comm_arrays(client_ids, local_steps)
+        return compute + comm
+
+    def adaptive_steps_array(self, client_ids: list[str],
+                             nominal_steps: int) -> np.ndarray:
+        """Batch :meth:`adaptive_local_steps` (``np.rint`` rounds
+        half-to-even exactly like Python's ``round``)."""
+        if nominal_steps < 1:
+            raise ValueError("nominal_steps must be >= 1")
+        cf, _ = self._factor_arrays(client_ids)
+        scaled = np.rint(nominal_steps / cf)
+        return np.clip(scaled, 1, nominal_steps).astype(np.int64)
 
     def adaptive_local_steps(self, client_id: str, nominal_steps: int) -> int:
         """τ scaled down by the client's compute slowdown (min 1 step).

@@ -275,33 +275,28 @@ class TestAggregator:
 
 
 class TestClientCheckpointing:
-    def test_local_checkpoint_written_each_round(self, tmp_path):
-        manager = CheckpointManager(tmp_path, keep=5)
-        client = make_client(checkpointer=manager)
-        global_state = DecoderLM(CFG, seed=0).state_dict()
-        client.train(global_state, RoundInfo(0, 2, 0))
-        client.train(global_state, RoundInfo(1, 2, 2))
-        manager.wait()
-        assert manager.list_checkpoints() == [0, 1]
-        _, state, meta = manager.load(1)
-        assert meta["client"] == "c0"
-        np.testing.assert_allclose(
-            state_to_vector(state),
-            state_to_vector(client.model.state_dict()), rtol=1e-5,
-        )
+    def test_client_level_checkpointer_retired(self):
+        """The weights-only per-client checkpointer is gone: RunState
+        (PR 5) snapshots the entire federation crash-consistently, and
+        the dual path could silently resurrect stale weights on
+        resume.  Engine-level checkpointing (``Aggregator`` /
+        ``RunStateCheckpointer``) is the one remaining path."""
+        with pytest.raises(TypeError):
+            make_client(checkpointer=CheckpointManager("/tmp/unused"))
 
-    def test_recovery_resumes_from_local_state(self, tmp_path):
-        """The L.26 purpose: after a crash, the client restores its
-        last local state instead of retraining from the round start."""
-        manager = CheckpointManager(tmp_path)
-        client = make_client(checkpointer=manager)
+    def test_client_state_survives_roundtrip(self):
+        """What RunState persists per client — counters, stream RNG
+        position — restores a twin to the same durable state (the
+        model workspace is overwritten by every broadcast)."""
+        client = make_client()
         global_state = DecoderLM(CFG, seed=0).state_dict()
         client.train(global_state, RoundInfo(0, 3, 0))
-        manager.wait()
-        _, recovered, _ = manager.load()
-        fresh = make_client()
-        fresh.model.load_state_dict(recovered)
+        twin = make_client()
+        twin.load_state_dict(client.state_dict())
+        assert twin.tokens_processed == client.tokens_processed
+        assert twin.rounds_participated == client.rounds_participated
+        ua = client.train(global_state, RoundInfo(1, 2, 3))
+        ub = twin.train(global_state, RoundInfo(1, 2, 3))
         np.testing.assert_allclose(
-            state_to_vector(fresh.model.state_dict()),
-            state_to_vector(client.model.state_dict()), rtol=1e-6,
+            state_to_vector(ua.delta), state_to_vector(ub.delta), atol=1e-6
         )

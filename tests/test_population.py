@@ -1,0 +1,506 @@
+"""Vectorized control plane (repro.fed.population): the array-backed
+scheduler, lazy client pool and population wall-time model must be
+bit-exact drop-ins for the eager per-client objects at small N — same
+selections, jitter draws, drop ledgers and round histories — while
+scaling to million-client federations in O(cohorts + active clients)
+memory."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import ErrorFeedback
+from repro.config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
+from repro.fed import (
+    ClientPopulation,
+    ClientScheduler,
+    LazyClientPool,
+    Photon,
+    PopulationWallTime,
+    VectorScheduler,
+    normal_quantile,
+)
+from repro.net.walltime import JitterModel, WallTimeModel
+
+from helpers import assert_bit_exact_resume, run_crash_resume
+
+CFG = ModelConfig("micro", n_blocks=1, d_model=16, n_heads=2, vocab_size=32,
+                  seq_len=16)
+OPTIM = OptimConfig(max_lr=3e-3, warmup_steps=2, schedule_steps=64,
+                    batch_size=2, weight_decay=0.0)
+WALLTIME = WallTimeConfig(throughput=2.0, bandwidth_mbps=312.5, model_mb=0.05)
+
+
+# ----------------------------------------------------------------------
+# ClientPopulation: the indexed id space + factor arrays
+# ----------------------------------------------------------------------
+class TestClientPopulation:
+    def test_ids_and_index_roundtrip(self):
+        pop = ClientPopulation.uniform(12)
+        assert len(pop) == 12
+        for i, cid in enumerate(pop.ids):
+            assert cid == f"client{i}"
+            assert pop.index_of(cid) == i
+        assert pop.sorted_ids == sorted(pop.ids)
+        # lex_rank inverts the sorted order.
+        for rank, cid in enumerate(pop.sorted_ids):
+            assert pop.lex_rank[pop.index_of(cid)] == rank
+
+    @pytest.mark.parametrize("bad", ["client007", "client-1", "clientx",
+                                     "client99", "other3", ""])
+    def test_malformed_or_foreign_ids_rejected(self, bad):
+        pop = ClientPopulation.uniform(12)
+        with pytest.raises(KeyError):
+            pop.index_of(bad)
+
+    def test_heterogeneous_matches_eager_walltime_draws(self):
+        """The population's factor draws must be bit-identical to
+        WallTimeModel.heterogeneous over sorted ids — the eager
+        plane's construction — so both planes simulate the same
+        federation."""
+        n, spread, seed = 11, 5.0, 7
+        pop = ClientPopulation.heterogeneous(
+            n, compute_spread=spread, bandwidth_spread=spread, seed=seed)
+        eager = WallTimeModel.heterogeneous(
+            WALLTIME, sorted(f"client{i}" for i in range(n)),
+            compute_spread=spread, bandwidth_spread=spread, seed=seed)
+        for cid in pop.ids:
+            i = pop.index_of(cid)
+            assert pop.compute_factors[i] == eager.client_compute_factors[cid]
+            assert pop.bandwidth_factors[i] == eager.client_bandwidth_factors[cid]
+
+    def test_population_walltime_matches_eager_model(self):
+        n, spread, seed = 9, 4.0, 3
+        pop = ClientPopulation.heterogeneous(
+            n, compute_spread=spread, bandwidth_spread=spread, seed=seed)
+        vec = PopulationWallTime(WALLTIME, pop)
+        eager = WallTimeModel.heterogeneous(
+            WALLTIME, pop.sorted_ids, compute_spread=spread,
+            bandwidth_spread=spread, seed=seed)
+        ids = pop.sorted_ids
+        arr = vec.client_total_s_array(ids, 16)
+        for j, cid in enumerate(ids):
+            assert vec.compute_factor(cid) == eager.compute_factor(cid)
+            assert arr[j] == eager.client_timing(cid, 16).total_s
+        steps = vec.adaptive_steps_array(ids, 16)
+        for j, cid in enumerate(ids):
+            assert steps[j] == eager.adaptive_local_steps(cid, 16)
+
+    def test_cohorts_share_archetypes(self):
+        pop = ClientPopulation.cohorts(20, 4, compute_spread=8.0, seed=1)
+        assert len(set(np.round(pop.compute_factors, 12))) <= 4
+        for i in range(20):
+            assert pop.compute_factors[i] == pop.compute_factors[i % 4]
+            assert pop.cohort_of[i] == i % 4
+
+    def test_cohorts_validation(self):
+        with pytest.raises(ValueError):
+            ClientPopulation.cohorts(4, 0)
+        with pytest.raises(ValueError):
+            ClientPopulation.cohorts(4, 5)
+
+
+# ----------------------------------------------------------------------
+# S2: jitter-aware feasibility margin
+# ----------------------------------------------------------------------
+class TestFeasibilityMargin:
+    def test_normal_quantile_accuracy(self):
+        # Reference values (scipy.stats.norm.ppf); Acklam's
+        # approximation is good to ~1e-9 relative error.
+        for p, z in ((0.5, 0.0), (0.95, 1.6448536269514722),
+                     (0.975, 1.959963984540054), (0.99, 2.3263478740408408),
+                     (0.05, -1.6448536269514722)):
+            assert normal_quantile(p) == pytest.approx(z, abs=1e-8)
+        # Symmetry across the tail branches.
+        for p in (0.001, 0.01, 0.2, 0.4):
+            assert normal_quantile(p) == pytest.approx(-normal_quantile(1 - p),
+                                                       abs=1e-12)
+
+    def test_margin_flips_borderline_feasibility(self):
+        """A client whose mean cycle fits the deadline but whose
+        95th-percentile cycle does not must lose the slot once the
+        quantile margin is active."""
+        durations = {"a": 9.5, "b": 9.9}
+        jitter = JitterModel({"a": 0.5, "b": 0.0}, seed=0)
+
+        def rank(fq):
+            sched = ClientScheduler("utility", deadline_s=10.0,
+                                    feasibility_quantile=fq, jitter=jitter)
+            return sched._rank(["a", "b"], 0, lambda c: durations[c], 10.0)
+
+        assert rank(None) == ["a", "b"]   # a is faster, both feasible
+        assert rank(0.95) == ["b", "a"]   # a's q95 cycle misses the deadline
+
+    def test_margin_requires_quantile_in_unit_interval(self):
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                ClientScheduler("fastest", feasibility_quantile=bad)
+
+    def test_no_jitter_means_no_margin(self):
+        sched = ClientScheduler("fastest", feasibility_quantile=0.95)
+        assert sched._margin("a") == 1.0
+
+
+# ----------------------------------------------------------------------
+# S4: vectorized scheduler == scalar scheduler, property-tested
+# ----------------------------------------------------------------------
+def _build_pair(n, policy, seed, fairness, exploration, stat_w, fq):
+    pop = ClientPopulation.uniform(n)
+    jitter = JitterModel(0.4, seed=seed) if fq is not None else None
+    kwargs = dict(fairness_every_k=fairness, exploration=exploration,
+                  stat_utility_weight=stat_w, feasibility_quantile=fq,
+                  jitter=jitter)
+    scalar = ClientScheduler(policy, **kwargs)
+    vector = VectorScheduler(pop, policy, **kwargs)
+    rng = np.random.default_rng(seed)
+    durations = rng.uniform(0.5, 20.0, size=n)
+    dur = {cid: float(durations[pop.index_of(cid)]) for cid in pop.ids}
+    # Shared selection/result history, applied identically to both.
+    for version in range(int(rng.integers(0, 6))):
+        for cid in rng.choice(pop.ids, size=rng.integers(1, n), replace=False):
+            scalar.note_selected(cid, version)
+            vector.note_selected(cid, version)
+            loss = float(rng.uniform(1.0, 5.0))
+            scalar.note_result(cid, loss)
+            vector.note_result(cid, loss)
+    return pop, scalar, vector, dur, rng
+
+
+@given(
+    n=st.integers(3, 10),
+    policy=st.sampled_from(["random", "fastest", "utility"]),
+    seed=st.integers(0, 10_000),
+    fairness=st.sampled_from([None, 2, 8]),
+    exploration=st.sampled_from([0.0, 1.0]),
+    stat_w=st.sampled_from([0.0, 0.5]),
+    fq=st.sampled_from([None, 0.95]),
+)
+@settings(max_examples=60, deadline=None)
+def test_select_async_vector_equals_scalar(n, policy, seed, fairness,
+                                           exploration, stat_w, fq):
+    pop, scalar, vector, dur, rng = _build_pair(
+        n, policy, seed, fairness, exploration, stat_w, fq)
+    idle = list(rng.permutation(pop.ids))
+    reachable = set(rng.choice(idle, size=rng.integers(1, n), replace=False))
+    slots = int(rng.integers(1, n + 1))
+    version = int(rng.integers(0, 10))
+    deadline = float(rng.uniform(2.0, 25.0)) if rng.random() < 0.7 else None
+
+    def duration_fn(c):
+        return dur[c]
+
+    def duration_array_fn(ids):
+        return np.array([dur[c] for c in ids], dtype=np.float64)
+
+    got_scalar = scalar.select_async(idle, reachable, slots, version,
+                                     duration_fn, deadline_s=deadline)
+    got_vector = vector.select_async(idle, reachable, slots, version,
+                                     duration_fn, deadline_s=deadline,
+                                     duration_array_fn=duration_array_fn)
+    assert got_vector == got_scalar
+
+
+@given(
+    n=st.integers(3, 10),
+    policy=st.sampled_from(["random", "fastest", "utility"]),
+    seed=st.integers(0, 10_000),
+    fq=st.sampled_from([None, 0.9]),
+)
+@settings(max_examples=40, deadline=None)
+def test_select_cohort_vector_equals_scalar(n, policy, seed, fq):
+    pop, scalar, vector, dur, rng = _build_pair(
+        n, policy, seed, 8, 1.0, 0.0, fq)
+    default = sorted(rng.choice(pop.ids, size=rng.integers(1, n),
+                                replace=False))
+    round_idx = int(rng.integers(0, 10))
+
+    def duration_fn(c):
+        return dur[c]
+
+    def duration_array_fn(ids):
+        return np.array([dur[c] for c in ids], dtype=np.float64)
+
+    got_scalar = scalar.select_cohort(pop.sorted_ids, round_idx, default,
+                                      duration_fn)
+    got_vector = vector.select_cohort(pop.sorted_ids, round_idx, default,
+                                      duration_fn,
+                                      duration_array_fn=duration_array_fn)
+    assert got_vector == got_scalar
+    assert list(scalar.selection_log) == list(vector.selection_log)
+
+
+def test_vector_scheduler_state_roundtrip():
+    pop = ClientPopulation.uniform(6)
+    a = VectorScheduler(pop, "utility")
+    for v in range(4):
+        a.note_selected(f"client{v}", v)
+        a.note_result(f"client{v}", 3.0 - 0.1 * v)
+    b = VectorScheduler(pop, "utility")
+    b.load_state_dict(a.state_dict())
+    np.testing.assert_array_equal(a._last_selected, b._last_selected)
+    np.testing.assert_array_equal(a._selections, b._selections)
+    np.testing.assert_array_equal(a._improvement, b._improvement)
+    assert list(a.selection_log) == list(b.selection_log)
+
+
+# ----------------------------------------------------------------------
+# Jitter draws: batch == sequential scalar draws
+# ----------------------------------------------------------------------
+class TestJitterFactors:
+    def test_factors_match_scalar_stream(self):
+        ids = [f"client{i}" for i in range(7)]
+        scales = {cid: (0.0 if i % 3 == 0 else 0.1 * (i + 1))
+                  for i, cid in enumerate(ids)}
+        a = JitterModel(dict(scales), seed=5)
+        b = JitterModel(dict(scales), seed=5)
+        batch = a.factors(ids)
+        scalar = np.array([b.factor(cid) for cid in ids])
+        np.testing.assert_array_equal(batch, scalar)
+        # End RNG state identical: the next draw agrees too.
+        assert a.factor("client1") == b.factor("client1")
+
+    def test_zero_scale_consumes_no_rng(self):
+        a = JitterModel(0.0, seed=9)
+        assert list(a.factors([f"c{i}" for i in range(4)])) == [1.0] * 4
+
+
+# ----------------------------------------------------------------------
+# S1: staleness-aware error feedback
+# ----------------------------------------------------------------------
+def _sd(*values):
+    return {"w": np.array(values, dtype=np.float32)}
+
+
+class TestStalenessErrorFeedback:
+    def test_gamma_validation(self):
+        for bad in (0.0, -0.2, 1.5):
+            with pytest.raises(ValueError):
+                ErrorFeedback(staleness_gamma=bad)
+
+    def test_decayed_conservation(self):
+        """decoded + residual' == delta + gamma**s * residual, exactly."""
+        gamma, banked_at, now = 0.5, 3, 7
+        ef = ErrorFeedback(staleness_gamma=gamma)
+        ef.record("c", _sd(1.0, -2.0, 0.5), _sd(0.25, -1.0, 0.0),
+                  version=banked_at)
+        residual = {k: v.copy() for k, v in ef.residual("c").items()}
+        delta = _sd(0.1, 0.2, -0.3)
+        sent = ef.apply("c", delta, version=now)
+        decoded = _sd(0.0, 0.1, -0.25)  # what a lossy wire kept
+        ef.record("c", sent, decoded, version=now)
+        factor = np.float32(gamma ** (now - banked_at))
+        lhs = decoded["w"] + ef.residual("c")["w"]
+        rhs = delta["w"] + factor * residual["w"]
+        np.testing.assert_array_equal(lhs, rhs)
+
+    def test_gamma_one_is_legacy_bit_exact(self):
+        legacy = ErrorFeedback()
+        decayed = ErrorFeedback(staleness_gamma=1.0)
+        for ef in (legacy, decayed):
+            ef.record("c", _sd(1.0, 2.0), _sd(0.5, 1.5), version=0)
+        a = legacy.apply("c", _sd(0.3, 0.4), version=9)
+        b = decayed.apply("c", _sd(0.3, 0.4), version=9)
+        np.testing.assert_array_equal(a["w"], b["w"])
+
+    def test_zero_staleness_no_decay(self):
+        ef = ErrorFeedback(staleness_gamma=0.5)
+        ef.record("c", _sd(1.0), _sd(0.25), version=4)
+        sent = ef.apply("c", _sd(0.0), version=4)
+        np.testing.assert_array_equal(sent["w"], np.array([0.75],
+                                                          dtype=np.float32))
+
+    def test_snapshot_restore_keeps_banked_versions(self):
+        ef = ErrorFeedback(staleness_gamma=0.9)
+        ef.record("c", _sd(1.0), _sd(0.5), version=2)
+        snap = ef.snapshot()
+        ef.record("c", _sd(3.0), _sd(2.0), version=6)
+        ef.restore(snap)
+        assert ef._banked_version["c"] == 2
+        np.testing.assert_array_equal(ef.residual("c")["w"],
+                                      np.array([0.5], dtype=np.float32))
+
+    def test_state_dict_roundtrip(self):
+        a = ErrorFeedback(staleness_gamma=0.8)
+        a.record("c", _sd(1.0), _sd(0.25), version=5)
+        b = ErrorFeedback(staleness_gamma=0.8)
+        b.load_state_dict(a.state_dict())
+        assert b._banked_version == {"c": 5}
+        sent_a = a.apply("c", _sd(0.1), version=8)
+        sent_b = b.apply("c", _sd(0.1), version=8)
+        np.testing.assert_array_equal(sent_a["w"], sent_b["w"])
+
+
+# ----------------------------------------------------------------------
+# LazyClientPool: bounded materialization, bit-exact eviction
+# ----------------------------------------------------------------------
+class TestLazyClientPool:
+    def test_mapping_protocol(self):
+        pop = ClientPopulation.uniform(5)
+        pool = LazyClientPool(pop, lambda cid: object(), max_live=2)
+        assert len(pool) == 5
+        assert sorted(pool) == pool.sorted_ids()
+        assert "client3" in pool and "client9" not in pool
+        assert pool.live_count() == 0  # nothing materialized yet
+
+    def test_eviction_respects_cap_and_leases(self):
+        pop = ClientPopulation.uniform(4)
+
+        class FakeClient:
+            def __init__(self):
+                self.tokens_processed = 0
+                self.loaded = None
+
+            def state_dict(self):
+                return {"tokens_processed": self.tokens_processed}
+
+            def load_state_dict(self, state):
+                self.loaded = state
+                self.tokens_processed = int(state["tokens_processed"])
+
+        pool = LazyClientPool(pop, lambda cid: FakeClient(), max_live=2)
+        pool["client0"].tokens_processed = 10
+        pool["client1"].tokens_processed = 20
+        assert pool.live_count() == 2
+        with pool.lease("client0") as c0:
+            assert c0.tokens_processed == 10
+            pool["client2"]  # evicts client1 (LRU, unleased)
+            pool["client3"]  # over cap, but client0 is pinned
+            assert pool.live_count() >= 2
+        # Rematerialization restores the parked counters exactly.
+        assert pool["client1"].tokens_processed == 20
+        assert pool.total_tokens_processed() == 30
+        assert pool.evictions > 0
+
+    def test_state_dict_only_touched_clients(self):
+        pop = ClientPopulation.uniform(100)
+
+        class FakeClient:
+            tokens_processed = 0
+
+            def state_dict(self):
+                return {"tokens_processed": 0}
+
+            def load_state_dict(self, state):
+                pass
+
+        pool = LazyClientPool(pop, lambda cid: FakeClient(), max_live=3)
+        for cid in ("client5", "client17"):
+            pool[cid]
+        assert set(pool.state_dict()["touched"]) == {"client5", "client17"}
+        with pytest.raises(KeyError):
+            pool.load_state_dict({"touched": {"stranger1": {}}})
+
+
+# ----------------------------------------------------------------------
+# End-to-end: eager plane == vector plane at small N
+# ----------------------------------------------------------------------
+def vector_photon(population=8, rounds=2, plane="vector", mode="async",
+                  selection="utility", seed=3, **overrides):
+    fed_kwargs = dict(population=population, clients_per_round=4,
+                      local_steps=2, rounds=rounds, mode=mode,
+                      selection=selection, seed=seed,
+                      client_plane=plane)
+    if mode == "async":
+        fed_kwargs.update(buffer_size=2, deadline=60.0,
+                          drop_policy="requeue", jitter=0.3,
+                          feasibility_quantile=(0.95 if selection != "random"
+                                                else None))
+    fed_kwargs.update(overrides)
+    fed = FedConfig(**fed_kwargs)
+    return Photon(CFG, fed, OPTIM, corpus="pile", val_batches=2,
+                  walltime_config=WALLTIME, client_speed_spread=4.0,
+                  uptime=0.9)
+
+
+def _assert_same_run(pe, pv):
+    assert [asdict(r) for r in pe.history] == [asdict(r) for r in pv.history]
+    assert (list(pe.aggregator.scheduler.selection_log)
+            == list(pv.aggregator.scheduler.selection_log))
+    assert pe.result().tokens_processed == pv.result().tokens_processed
+    ledger_e = getattr(pe.aggregator, "drop_ledger", None)
+    if ledger_e is not None:
+        assert ledger_e.state_dict() == pv.aggregator.drop_ledger.state_dict()
+
+
+class TestEagerVectorEquivalence:
+    def test_async_utility_full_stack(self):
+        """The headline anchor: deadline + requeue + jitter + quantile
+        margin + availability + heterogeneous clock, utility policy."""
+        pe = vector_photon(plane="eager")
+        pv = vector_photon(plane="vector")
+        pe.train()
+        pv.train()
+        _assert_same_run(pe, pv)
+        # The vector plane actually ran lazily.
+        assert hasattr(pv.clients, "lease")
+
+    def test_async_random_legacy_anchor(self):
+        pe = vector_photon(plane="eager", selection="random")
+        pv = vector_photon(plane="vector", selection="random")
+        pe.train()
+        pv.train()
+        _assert_same_run(pe, pv)
+
+    def test_sync_fastest(self):
+        pe = vector_photon(plane="eager", mode="sync", selection="fastest")
+        pv = vector_photon(plane="vector", mode="sync", selection="fastest")
+        pe.train()
+        pv.train()
+        _assert_same_run(pe, pv)
+
+    def test_max_live_does_not_change_history(self):
+        """Eviction is bit-exact: a pool squeezed to 2 live clients
+        replays the unconstrained run identically."""
+        tight = vector_photon(max_live_clients=2)
+        roomy = vector_photon(max_live_clients=64)
+        tight.train()
+        roomy.train()
+        _assert_same_run(tight, roomy)
+        assert tight.clients.evictions > 0
+        assert tight.clients.live_count() <= 2 + 1  # leased overshoot
+
+    @pytest.mark.slow
+    def test_equivalence_sweep(self):
+        for mode in ("sync", "async"):
+            for selection in ("random", "fastest", "utility"):
+                for seed in (0, 3):
+                    pe = vector_photon(plane="eager", mode=mode,
+                                       selection=selection, seed=seed)
+                    pv = vector_photon(plane="vector", mode=mode,
+                                       selection=selection, seed=seed)
+                    pe.train()
+                    pv.train()
+                    _assert_same_run(pe, pv)
+
+
+class TestVectorPlaneCheckpointResume:
+    def test_vector_kill_and_resume_bit_exact(self):
+        full, resumed = run_crash_resume(
+            lambda **kw: vector_photon(rounds=4, **kw), rounds=4, kill_at=2)
+        assert_bit_exact_resume(full, resumed)
+        assert hasattr(resumed.clients, "lease")
+
+
+class TestVectorPlaneConfig:
+    def test_vector_plane_rejects_stream_dict(self):
+        streams = {"clientX": object()}
+        fed = FedConfig(population=1, clients_per_round=1, local_steps=1,
+                        rounds=1, client_plane="vector")
+        with pytest.raises(ValueError, match="vector"):
+            Photon(CFG, fed, OPTIM, corpus=streams)
+
+    def test_cohorts_requires_vector_plane(self):
+        with pytest.raises(ValueError):
+            FedConfig(population=4, clients_per_round=2, local_steps=1,
+                      rounds=1, cohorts=2)
+
+    def test_cohort_photon_runs(self):
+        p = vector_photon(cohorts=2, rounds=2)
+        p.train()
+        assert len(p.history) == 2
+        assert p.population.cohort_of is not None
