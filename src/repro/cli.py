@@ -98,6 +98,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "object per client (legacy); vector keeps "
                             "per-client state in arrays and materializes "
                             "clients lazily (million-client scale)")
+    train.add_argument("--local-plane",
+                       choices=["sequential", "batched", "procpool"],
+                       default="sequential",
+                       help="local-training execution: sequential runs "
+                            "clients one by one (legacy, bit-exact anchor); "
+                            "batched stacks homogeneous clients into one "
+                            "fused step (bit-exact, ~single-core speedup); "
+                            "procpool trains on a persistent fork pool with "
+                            "shared-memory broadcasts (needs --max-workers)")
+    train.add_argument("--max-workers", type=int, default=1,
+                       help="worker parallelism for local training "
+                            "(thread dispatch on the sequential plane, "
+                            "processes under --local-plane procpool)")
     train.add_argument("--cohorts", type=int, default=None,
                        help="vector plane: number of timing archetypes "
                             "shared across the population (O(cohorts) "
@@ -199,6 +212,7 @@ def _cmd_train(args) -> int:
                     exploration=args.exploration,
                     stat_utility_weight=args.stat_utility_weight,
                     client_plane=args.client_plane,
+                    local_plane=args.local_plane,
                     cohorts=args.cohorts,
                     max_live_clients=args.max_live_clients,
                     ef_staleness_gamma=args.ef_staleness_gamma,
@@ -228,6 +242,7 @@ def _cmd_train(args) -> int:
                     heterogeneity=args.heterogeneity,
                     walltime_config=walltime_config,
                     failure_model=failure_model,
+                    max_workers=args.max_workers,
                     client_speed_spread=args.straggler_spread)
     history = photon.train()
     if photon.resumed_from_round is not None:
@@ -245,6 +260,9 @@ def _cmd_train(args) -> int:
               f"{pool.live_count()} live, "
               f"{pool.materializations} materialized, "
               f"{pool.evictions} evicted)")
+    if fed.local_plane != "sequential":
+        print(f"local plane     : {fed.local_plane} "
+              f"(max_workers={args.max_workers})")
     if fed.selection != "random" or fed.jitter > 0:
         print(f"scheduling      : selection={fed.selection} "
               f"jitter={fed.jitter:g} exploration={fed.exploration:g}")

@@ -173,6 +173,16 @@ class FedConfig:
     (O(cohorts) parameter memory) and ``max_live_clients`` bounds how
     many :class:`~repro.fed.client.LLMClient` objects exist at once.
 
+    Local-plane knobs: ``local_plane`` selects how a wave of local
+    training executes — ``"sequential"`` (legacy client-by-client, the
+    bit-exact anchor), ``"batched"`` (shape-homogeneous clients are
+    stacked along a leading axis and advance through one fused
+    forward/backward/AdamW step; bit-exact vs sequential), or
+    ``"procpool"`` (a persistent fork pool trains clients truly in
+    parallel, with the broadcast weights mapped once per version into
+    shared memory; requires ``max_workers > 1`` to pay off and is
+    incompatible with ``compress_broadcast``).
+
     Carried bugfix knobs: ``ef_staleness_gamma`` decays a banked EF
     residual by ``gamma**staleness`` before reuse (1.0 = legacy
     verbatim replay); ``feasibility_quantile`` folds a lognormal
@@ -211,6 +221,7 @@ class FedConfig:
     max_live_clients: int | None = None
     ef_staleness_gamma: float = 1.0
     feasibility_quantile: float | None = None
+    local_plane: str = "sequential"
 
     def __post_init__(self) -> None:
         if self.clients_per_round > self.population:
@@ -291,6 +302,17 @@ class FedConfig:
         if self.client_plane not in ("eager", "vector"):
             raise ValueError(
                 f"client_plane must be 'eager' or 'vector', got {self.client_plane!r}"
+            )
+        if self.local_plane not in ("sequential", "batched", "procpool"):
+            raise ValueError(
+                f"local_plane must be 'sequential', 'batched' or 'procpool', "
+                f"got {self.local_plane!r}"
+            )
+        if self.local_plane == "procpool" and self.compress_broadcast:
+            raise ValueError(
+                "local_plane='procpool' is incompatible with "
+                "compress_broadcast (each client's lossy downlink decode is "
+                "distinct, which defeats the shared-memory broadcast buffer)"
             )
         if self.client_plane == "vector" and isinstance(self.jitter, dict):
             raise ValueError(

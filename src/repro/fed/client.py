@@ -177,10 +177,16 @@ class LLMClient:
 
         anchors = None
         if self.proximal_mu > 0:
-            anchors = [
-                (param, global_state[name].copy())
-                for name, param in self.model.named_parameters()
-            ]
+            # Read-only views, not copies: the anchors are only ever
+            # read (the proximal term), and the broadcast state must
+            # never be aliased-mutated — a write through an anchor
+            # would corrupt the server's global model for every other
+            # client sharing the buffer.
+            anchors = []
+            for name, param in self.model.named_parameters():
+                anchor = global_state[name].view()
+                anchor.flags.writeable = False
+                anchors.append((param, anchor))
 
         losses = np.empty(round_info.local_steps, dtype=np.float64)
         tokens = 0

@@ -49,6 +49,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from dataclasses import asdict
 from typing import NamedTuple
 
@@ -62,10 +63,12 @@ from ..net.walltime import JitterModel, WallTimeModel
 from ..nn import DecoderLM
 from ..utils.metrics import History, RoundRecord, aggregate_metrics
 from ..utils.serialization import StateDict, tree_mean, tree_norm
+from .batched import batch_eligible, batch_group_key, train_clients_batched
 from .checkpoint import CheckpointManager
 from .client import LLMClient
 from .faults import ClientFailure, DeadlinePolicy, DropLedger, FailureModel, FaultPolicy
 from .link import Link, Message
+from .procpool import ProcPool, share_state
 from .sampler import AvailabilityModel, ClientSampler, FullParticipation
 from .scheduler import ClientScheduler
 from .server_opt import FedAvg, ServerOpt
@@ -307,7 +310,8 @@ class RoundEngine:
                  error_feedback: ErrorFeedback | None = None,
                  run_checkpointer=None,
                  checkpoint_every: int = 1,
-                 init_seed: int = 0):
+                 init_seed: int = 0,
+                 local_plane: str = "sequential"):
         if not clients:
             raise ValueError("the federation needs at least one client")
         self.model_config = model_config
@@ -335,6 +339,24 @@ class RoundEngine:
         # kernels release the GIL.  Results are deterministic either
         # way because each client's RNG stream is its own.
         self.max_workers = max_workers
+        if local_plane not in ("sequential", "batched", "procpool"):
+            raise ValueError(
+                f"local_plane must be 'sequential', 'batched' or "
+                f"'procpool', got {local_plane!r}"
+            )
+        # How a wave of local-training work is executed: client-by-
+        # client ("sequential", the bit-exact anchor), K stacked
+        # homogeneous clients per fused step ("batched"), or a
+        # persistent fork pool with shared-memory broadcast buffers
+        # ("procpool").  All three produce identical results — the
+        # planes differ only in throughput.
+        self.local_plane = local_plane
+        # Engine-lifetime worker resources, created lazily on first
+        # use and torn down on run completion / state_dict() (the old
+        # code built and destroyed a ThreadPoolExecutor per dispatch
+        # batch).
+        self._executor: ThreadPoolExecutor | None = None
+        self._procpool: ProcPool | None = None
         self.failure_model = failure_model
         self.fault_policy = fault_policy or FaultPolicy.for_topology(comm_topology)
         # Custom delta merging (e.g. TIES for heterogeneous clients,
@@ -435,6 +457,17 @@ class RoundEngine:
                 update = client.train(state, round_info)
         else:
             update = self.clients[client_id].train(state, round_info)
+        return self._finish_update(client_id, update)
+
+    def _finish_update(self, client_id: str,
+                       update: ClientUpdate) -> ClientUpdate:
+        """Move a trained delta back over the Link (the wire half of
+        :meth:`_collect_update`): error feedback adds the banked
+        residual before encoding, the aggregator keeps what came off
+        the wire.  Each (client, agg) channel has its own codec RNG
+        stream, so replaying the wire phase per task in a fixed order
+        is byte-identical whether training ran sequentially, stacked,
+        or across processes."""
         outbound = update.delta
         ef = (self.error_feedback
               if self.link.uplink_codec is not None else None)
@@ -451,6 +484,136 @@ class RoundEngine:
         update.delta = delta
         return update
 
+    # ------------------------------------------------------------------
+    # Parallel local planes
+    # ------------------------------------------------------------------
+    def _get_executor(self) -> ThreadPoolExecutor:
+        """The persistent dispatch thread pool (lazy; reused across
+        every flush until :meth:`_shutdown_workers`)."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def _get_procpool(self) -> ProcPool:
+        if self._procpool is None:
+            self._procpool = ProcPool(self.clients, self.max_workers)
+        return self._procpool
+
+    def _shutdown_workers(self) -> None:
+        """Tear down the lazy worker resources.  Called when a run
+        completes and before serializing engine state — a checkpoint
+        must never capture live pool handles, and a procpool fork must
+        be re-taken after a resume mutates the parent's clients."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._procpool is not None:
+            self._procpool.close()
+            self._procpool = None
+
+    def _train_wave(self, tasks: list[tuple[str, Message, RoundInfo]]
+                    ) -> list[ClientUpdate]:
+        """Run a wave of (client, broadcast, round-info) tasks through
+        the configured non-sequential local plane.
+
+        Broadcast decodes happen serially in task order, training runs
+        through the plane, and the uplink wire phase replays serially
+        in task order — so meters, codec streams and EF residuals are
+        byte-identical to the sequential plane.
+        """
+        states = [self.link.recv_state(message)[0] for _, message, _ in tasks]
+        if self.local_plane == "batched":
+            updates = self._train_states_batched(tasks, states)
+        else:
+            updates = self._train_states_procpool(tasks, states)
+        return [self._finish_update(task[0], update)
+                for task, update in zip(tasks, updates)]
+
+    def _train_states_batched(self, tasks, states) -> list[ClientUpdate]:
+        """Group shape/hyperparameter-homogeneous clients and train
+        each group in one fused stacked step; ineligible clients fall
+        back to the sequential path inside the same wave."""
+        with ExitStack() as stack:
+            if hasattr(self.clients, "lease"):
+                clients = [
+                    stack.enter_context(self.clients.lease(client_id))
+                    for client_id, _, _ in tasks
+                ]
+            else:
+                clients = [self.clients[client_id] for client_id, _, _ in tasks]
+            updates: list[ClientUpdate | None] = [None] * len(tasks)
+            groups: dict = {}
+            for idx, client in enumerate(clients):
+                if batch_eligible(client):
+                    key = batch_group_key(client, tasks[idx][2])
+                else:
+                    key = ("__solo__", idx)
+                groups.setdefault(key, []).append(idx)
+            for idxs in groups.values():
+                if len(idxs) == 1:
+                    i = idxs[0]
+                    updates[i] = clients[i].train(states[i], tasks[i][2])
+                else:
+                    stacked = train_clients_batched(
+                        [clients[i] for i in idxs],
+                        [states[i] for i in idxs],
+                        [tasks[i][2] for i in idxs],
+                    )
+                    for i, update in zip(idxs, stacked):
+                        updates[i] = update
+        return updates
+
+    def _train_states_procpool(self, tasks, states) -> list[ClientUpdate]:
+        """Fan a wave out across the persistent fork pool.
+
+        Global weights travel once per distinct broadcast version as a
+        shared-memory segment (clients pulling the same version map
+        the same read-only buffer); durable client state ships with
+        the job and back with the result, so the parent stays
+        authoritative and results do not depend on worker assignment.
+        """
+        pool = self._get_procpool()
+        lease = hasattr(self.clients, "lease")
+        segments: dict = {}
+        jobs = []
+        for (client_id, _, round_info), state in zip(tasks, states):
+            # One segment per broadcast version — unless a lossy
+            # downlink codec makes each client's decode distinct.
+            key = (round_info.round_idx
+                   if self.link.downlink_codec is None else len(jobs))
+            if key not in segments:
+                segments[key] = share_state(state)
+            shm, layout = segments[key]
+            if lease:
+                with self.clients.lease(client_id) as client:
+                    client_state = client.state_dict()
+            else:
+                client_state = self.clients[client_id].state_dict()
+            jobs.append((client_id, client_state, round_info.round_idx,
+                         round_info.local_steps, round_info.global_step_base,
+                         shm.name, layout))
+        try:
+            results = pool.train(jobs)
+        finally:
+            for shm, _ in segments.values():
+                shm.close()
+                shm.unlink()
+        updates = []
+        for (client_id, _, _), result in zip(tasks, results):
+            delta, new_state, metrics, num_tokens, num_steps = result
+            # Fold the worker's durable state (stream RNG positions,
+            # counters, retained momenta) back into the parent client.
+            if lease:
+                with self.clients.lease(client_id) as client:
+                    client.load_state_dict(new_state)
+            else:
+                self.clients[client_id].load_state_dict(new_state)
+            updates.append(ClientUpdate(
+                client_id=client_id, delta=delta, num_steps=num_steps,
+                num_tokens=num_tokens, metrics=metrics,
+            ))
+        return updates
+
     def run_round(self, round_idx: int, local_steps: int) -> RoundRecord:
         """Advance the federation by one server update."""
         raise NotImplementedError
@@ -464,12 +627,15 @@ class RoundEngine:
         continues the indices of the run it restored."""
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
-        for t in range(start_round, start_round + rounds):
-            record = self.run_round(t, local_steps)
-            self._maybe_checkpoint()
-            if (target_perplexity is not None
-                    and record.val_perplexity <= target_perplexity):
-                break
+        try:
+            for t in range(start_round, start_round + rounds):
+                record = self.run_round(t, local_steps)
+                self._maybe_checkpoint()
+                if (target_perplexity is not None
+                        and record.val_perplexity <= target_perplexity):
+                    break
+        finally:
+            self._shutdown_workers()
         return self.history
 
     def _maybe_checkpoint(self) -> None:
@@ -497,6 +663,8 @@ class RoundEngine:
         stream position, the validation stream, and the run history.
         Subclasses extend with their own event-loop state.
         """
+        self._shutdown_workers()
+
         def opt(component):
             return None if component is None else component.state_dict()
 
@@ -633,9 +801,30 @@ class SyncAggregator(RoundEngine):
                     return ClientFailure(client_id, round_idx)
                 return run_client(client_id)
 
-            if self.max_workers > 1 and len(cohort) > 1:
-                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                    outcomes = list(pool.map(guarded, cohort))
+            if self.local_plane != "sequential":
+                # Batched / procpool: broadcasts go out serially in
+                # cohort order, the survivors train as one wave, and
+                # the wire phase replays in the same order — identical
+                # Link/EF behavior to the sequential plane.
+                tasks = [
+                    (cid,
+                     self.link.send_state(
+                         self.global_state, sender="agg", receiver=cid,
+                         metadata={"round": round_idx,
+                                   "local_steps": local_steps},
+                     ),
+                     round_info)
+                    for cid in cohort if cid not in doomed
+                ]
+                trained = {task[0]: update for task, update
+                           in zip(tasks, self._train_wave(tasks))}
+                outcomes = [
+                    ClientFailure(cid, round_idx) if cid in doomed
+                    else trained[cid]
+                    for cid in cohort
+                ]
+            elif self.max_workers > 1 and len(cohort) > 1:
+                outcomes = list(self._get_executor().map(guarded, cohort))
             else:
                 outcomes = [guarded(cid) for cid in cohort]
             for outcome in outcomes:
@@ -1370,9 +1559,26 @@ class AsyncAggregator(RoundEngine):
                     )
                 elif entry.late:
                     self.drop_ledger.record_late()
-            if self.max_workers > 1 and len(survivors) > 1:
-                with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                    trained = list(pool.map(self._train_completed, survivors))
+            if self.local_plane != "sequential" and survivors:
+                # Pop in-flight entries in arrival order and train the
+                # survivors as one wave through the configured plane
+                # (clients in a wave may have pulled different
+                # versions; the batched grouping keys on local steps,
+                # and per-client LR bases handle the version skew).
+                tasks = []
+                versions = []
+                for client_id in survivors:
+                    entry = self._inflight.pop(client_id)
+                    versions.append(entry.version)
+                    tasks.append((client_id, entry.message, RoundInfo(
+                        round_idx=entry.version,
+                        local_steps=entry.steps,
+                        global_step_base=entry.version * self._local_steps,
+                    )))
+                trained = list(zip(versions, self._train_wave(tasks)))
+            elif self.max_workers > 1 and len(survivors) > 1:
+                trained = list(self._get_executor().map(
+                    self._train_completed, survivors))
             else:
                 trained = [self._train_completed(cid) for cid in survivors]
             for client_id in survivors:  # a delivery clears the streak

@@ -360,6 +360,7 @@ class Photon:
             run_checkpointer=self.run_checkpointer,
             checkpoint_every=fed_config.checkpoint_every or 1,
             init_seed=init_seed,
+            local_plane=fed_config.local_plane,
         )
         self.aggregator: RoundEngine
         if fed_config.mode == "async":

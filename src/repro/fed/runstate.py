@@ -62,6 +62,56 @@ _ND, _BYTES, _DICT, _LIST, _VAL = "__nd__", "__b__", "__d__", "__l__", "__v__"
 #: Marker for a codec-compressed float state dict (ServerOpt moments).
 _CODEC_PAYLOAD = "__codec_payload__"
 
+#: Marker for a FedAdam second-moment tree stored in the sqrt domain.
+_SQRT_MOMENT = "__sqrt_moment__"
+
+
+def _sqrt_wrap(node):
+    """Move FedAdam second moments into the sqrt domain before codec
+    encoding.
+
+    FedAdam divides by ``sqrt(v_hat) + eps``, so what resume accuracy
+    actually needs is a tight bound on ``sqrt(v)`` — but a quantizer
+    bounds the error of whatever array it is handed.  Quantizing ``v``
+    directly puts a *linear*-domain bound on a value used under a
+    square root: for small ``v`` the relative error of ``sqrt(v)``
+    blows up as the int8 bound stays proportional to ``max |v|`` (the
+    PR 5 README caveat).  Storing ``sqrt(v)`` instead makes the codec
+    bound apply to the denominator itself, so int8 resume stays within
+    the <2% loss gate without special-casing the codec.
+
+    Detects FedAdam-shaped nodes (``{"m", "v"}`` both float state
+    dicts) anywhere in the ServerOpt subtree and tags the transformed
+    ``v`` so :func:`_sqrt_unwrap` squares it back on load; FedMom/
+    Nesterov velocity trees (no division) pass through untouched.
+    """
+    if isinstance(node, dict):
+        if ({"m", "v"} <= set(node)
+                and _is_float_state_dict(node.get("m"))
+                and _is_float_state_dict(node.get("v"))):
+            out = dict(node)
+            out["v"] = {_SQRT_MOMENT: {
+                k: np.sqrt(v) for k, v in node["v"].items()
+            }}
+            return out
+        return {k: _sqrt_wrap(v) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_sqrt_wrap(v) for v in node]
+    return node
+
+
+def _sqrt_unwrap(node):
+    """Inverse of :func:`_sqrt_wrap`: square tagged moment trees back
+    into the linear domain.  Checkpoints written before the sqrt
+    transform carry no marker and pass through unchanged."""
+    if isinstance(node, dict):
+        if set(node) == {_SQRT_MOMENT}:
+            return {k: np.square(v) for k, v in node[_SQRT_MOMENT].items()}
+        return {k: _sqrt_unwrap(v) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_sqrt_unwrap(v) for v in node]
+    return node
+
 
 def pack_tree(tree) -> tuple[dict[str, np.ndarray], dict]:
     """Flatten a nested state tree into ``(arrays, structure)``.
@@ -204,7 +254,11 @@ class RunStateCheckpointer:
         completed)."""
         tree = dict(engine.state_dict())
         if self.codec is not None and tree.get("server_opt"):
-            tree["server_opt"] = _codec_wrap(tree["server_opt"], self.codec)
+            # Second moments ride through the codec in the sqrt domain
+            # (see _sqrt_wrap); float32 sqrt→square is not a bit-exact
+            # round trip, so the codec=None path never touches them.
+            tree["server_opt"] = _codec_wrap(
+                _sqrt_wrap(tree["server_opt"]), self.codec)
         arrays, structure = pack_tree(tree)
         return self.manager.save(step, arrays, metadata={
             "runstate_version": RUNSTATE_VERSION,
@@ -226,7 +280,8 @@ class RunStateCheckpointer:
         spec = metadata.get("codec", "none")
         codec = make_codec(spec)
         if codec is not None and tree.get("server_opt"):
-            tree["server_opt"] = _codec_unwrap(tree["server_opt"], codec)
+            tree["server_opt"] = _sqrt_unwrap(
+                _codec_unwrap(tree["server_opt"], codec))
         return step, tree
 
     def restore(self, engine, step: int | None = None) -> int:

@@ -16,8 +16,10 @@ __all__ = [
     "softmax",
     "log_softmax",
     "cross_entropy",
+    "batched_cross_entropy",
     "layer_norm",
     "embedding",
+    "batched_embedding",
     "dropout",
 ]
 
@@ -89,6 +91,60 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: int = -100)
     return Tensor._make(np.asarray(loss, dtype=np.float32), (logits,), backward)
 
 
+def batched_cross_entropy(logits: Tensor, targets: np.ndarray,
+                          ignore_index: int = -100) -> Tensor:
+    """Per-model mean cross entropy for ``K`` stacked models.
+
+    The leading axis of ``logits`` indexes independent models (the
+    batched client plane stacks K clients' graphs); the result is a
+    ``(K,)`` tensor of per-model mean losses.  Each slice computes
+    exactly what :func:`cross_entropy` computes for that model alone —
+    summing the ``(K,)`` vector and calling ``backward()`` seeds every
+    model's loss with gradient 1.0, so the stacked backward pass is
+    the K sequential backward passes run at once, with no gradient
+    flow between models.
+
+    Parameters
+    ----------
+    logits:
+        Float tensor of shape ``(K, ..., vocab)``.
+    targets:
+        Integer array of shape ``(K, ...)`` matching the leading axes.
+    """
+    targets = np.asarray(targets)
+    k = logits.shape[0]
+    vocab = logits.shape[-1]
+    flat_logits = logits.data.reshape(k, -1, vocab)
+    flat_targets = targets.reshape(k, -1)
+    valid = flat_targets != ignore_index
+    n_valid = valid.sum(axis=1)
+    if np.any(n_valid == 0):
+        raise ValueError("batched_cross_entropy received a model with no "
+                         "valid targets")
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_z
+
+    models = np.arange(k)[:, None]
+    rows = np.arange(flat_targets.shape[1])[None, :]
+    safe_targets = np.where(valid, flat_targets, 0)
+    picked = log_probs[models, rows, safe_targets]
+    # Per-row reduction over the same contiguous token axis the scalar
+    # op reduces, divided by a float32 count exactly like the scalar
+    # op's weak-scalar division.
+    loss = -(picked * valid).sum(axis=1) / n_valid.astype(np.float32)
+
+    def backward(grad):
+        soft = np.exp(log_probs)
+        soft[models, rows, safe_targets] -= 1.0
+        soft *= (valid / n_valid[:, None])[:, :, None]
+        out = grad.reshape(k, 1, 1) * soft
+        return (out.reshape(logits.shape).astype(np.float32),)
+
+    return Tensor._make(loss.astype(np.float32), (logits,), backward)
+
+
 def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalization over the last axis with affine parameters."""
     mu = x.data.mean(axis=-1, keepdims=True)
@@ -121,6 +177,31 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     def backward(grad):
         full = np.zeros_like(weight.data)
         np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.shape[-1]))
+        return (full,)
+
+    return Tensor._make(out_data, (weight,), backward)
+
+
+def batched_embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Per-model row lookup for ``K`` stacked embedding tables.
+
+    ``weight`` has shape ``(K, vocab, dim)`` — one table per stacked
+    model — and ``indices`` has shape ``(K, ...)``; model ``k`` gathers
+    only from table ``k``, so gradients never mix between models.  The
+    backward ``np.add.at`` scatters per model in the same row-major
+    order the scalar :func:`embedding` uses, keeping the accumulation
+    order (and hence the float32 sums) identical slice by slice.
+    """
+    indices = np.asarray(indices)
+    k = weight.shape[0]
+    model_idx = np.arange(k).reshape((k,) + (1,) * (indices.ndim - 1))
+    out_data = weight.data[model_idx, indices]
+
+    def backward(grad):
+        full = np.zeros_like(weight.data)
+        flat_models = np.broadcast_to(model_idx, indices.shape).reshape(-1)
+        np.add.at(full, (flat_models, indices.reshape(-1)),
+                  grad.reshape(-1, weight.shape[-1]))
         return (full,)
 
     return Tensor._make(out_data, (weight,), backward)

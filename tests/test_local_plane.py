@@ -1,0 +1,434 @@
+"""Parallel local planes (batched stepping + procpool) and the
+persistent dispatch executor.
+
+The contract under test: ``local_plane`` changes *throughput only*.
+Batched stepping of K stacked clients is bit-exact against K
+sequential ``client.train`` calls (property-tested across cohort
+sizes, shapes and optimizer configs), the procpool plane reproduces
+the single-process run — final weights, history and drop ledger —
+exactly, and both planes stay crash-consistent under checkpoint/
+resume.  The per-dispatch ThreadPoolExecutor churn fix and the
+read-only proximal anchors ride along.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
+from repro.data import CachedTokenStream, SyntheticC4
+from repro.fed import FailureModel, LLMClient, Photon
+from repro.fed import engine as engine_module
+from repro.fed.batched import batch_eligible, batch_group_key, train_clients_batched
+from repro.fed.engine import SyncAggregator
+from repro.fed.types import RoundInfo
+from repro.nn import DecoderLM
+from repro.optim import ConstantLR
+from repro.tensor import Tensor, ops
+
+from helpers import (
+    assert_bit_exact_resume,
+    assert_states_equal,
+    check_gradients,
+    run_crash_resume,
+)
+
+CFG = ModelConfig("micro", n_blocks=1, d_model=16, n_heads=2, vocab_size=32,
+                  seq_len=16)
+OPTIM = OptimConfig(max_lr=3e-3, warmup_steps=2, schedule_steps=64,
+                    batch_size=2, weight_decay=0.0)
+WALLTIME = WallTimeConfig(throughput=2.0, bandwidth_mbps=312.5, model_mb=0.05)
+
+
+def make_stream(cfg, shard=0, seed=0, batch=2):
+    c4 = SyntheticC4(num_shards=8, vocab=cfg.vocab_size, seed=1)
+    return CachedTokenStream(c4.shard(shard), batch_size=batch,
+                             seq_len=cfg.seq_len, cache_tokens=1024, seed=seed)
+
+
+def make_clients(cfg, optim, n, **kwargs):
+    return [
+        LLMClient(f"c{i}", cfg, make_stream(cfg, shard=i, seed=i,
+                                            batch=optim.batch_size),
+                  optim, ConstantLR(optim.max_lr), **kwargs)
+        for i in range(n)
+    ]
+
+
+def train_sequential(clients, global_state, infos):
+    return [
+        client.train({k: v.copy() for k, v in global_state.items()}, info)
+        for client, info in zip(clients, infos)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fused batched ops: finite-difference gradient checks
+# ----------------------------------------------------------------------
+
+class TestBatchedOps:
+    def test_batched_embedding_gradients(self, rng):
+        indices = rng.integers(0, 5, size=(3, 2, 4))
+        weight = rng.normal(size=(3, 5, 6)).astype(np.float32)
+        check_gradients(lambda w: ops.batched_embedding(w, indices), [weight])
+
+    def test_batched_cross_entropy_gradients(self, rng):
+        logits = rng.normal(size=(2, 3, 4, 7)).astype(np.float32)
+        targets = rng.integers(0, 7, size=(2, 3, 4))
+        targets[0, 0, 1] = -100  # exercise the ignore_index mask
+        check_gradients(
+            lambda lg: ops.batched_cross_entropy(lg, targets), [logits])
+
+    def test_batched_ops_match_scalar_slices(self, rng):
+        """Forward values: slice k of the batched op == the scalar op
+        on that slice, bitwise."""
+        weight = rng.normal(size=(3, 5, 6)).astype(np.float32)
+        indices = rng.integers(0, 5, size=(3, 2, 4))
+        batched = ops.batched_embedding(Tensor(weight), indices)
+        for k in range(3):
+            np.testing.assert_array_equal(
+                batched.data[k], ops.embedding(Tensor(weight[k]),
+                                               indices[k]).data)
+        logits = rng.normal(size=(3, 2, 4, 7)).astype(np.float32)
+        targets = rng.integers(0, 7, size=(3, 2, 4))
+        losses = ops.batched_cross_entropy(Tensor(logits), targets)
+        for k in range(3):
+            np.testing.assert_array_equal(
+                losses.data[k],
+                ops.cross_entropy(Tensor(logits[k]), targets[k]).data)
+
+
+# ----------------------------------------------------------------------
+# Batched == sequential: the hypothesis property
+# ----------------------------------------------------------------------
+
+class TestBatchedEqualsSequential:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=4),
+        n_blocks=st.integers(min_value=1, max_value=2),
+        d_model=st.sampled_from([8, 16]),
+        vocab=st.sampled_from([17, 32]),
+        tied=st.booleans(),
+        steps=st.integers(min_value=1, max_value=3),
+        weight_decay=st.sampled_from([0.0, 0.1]),
+        grad_clip=st.sampled_from([0.05, 1.0]),
+        stagger=st.booleans(),
+    )
+    def test_property_batched_equals_k_sequential(
+            self, k, n_blocks, d_model, vocab, tied, steps, weight_decay,
+            grad_clip, stagger):
+        """Stacked training of K clients is bit-exact against K
+        sequential ``client.train`` calls — deltas, losses, metrics —
+        across cohort sizes, layer shapes, optimizer configs and
+        (``stagger``) heterogeneous LR step bases.  ``grad_clip=0.05``
+        forces the per-client clip branch to actually fire."""
+        cfg = ModelConfig("prop", n_blocks=n_blocks, d_model=d_model,
+                          n_heads=2, vocab_size=vocab, seq_len=8,
+                          tie_embeddings=tied)
+        optim = OptimConfig(max_lr=3e-3, warmup_steps=2, schedule_steps=64,
+                            batch_size=2, weight_decay=weight_decay,
+                            grad_clip=grad_clip)
+        global_state = DecoderLM(cfg, seed=7).state_dict()
+        infos = [
+            RoundInfo(round_idx=0, local_steps=steps,
+                      global_step_base=(11 * i if stagger else 0))
+            for i in range(k)
+        ]
+
+        seq = train_sequential(make_clients(cfg, optim, k), global_state,
+                               infos)
+        clients = make_clients(cfg, optim, k)
+        assert all(batch_eligible(c) for c in clients)
+        bat = train_clients_batched(
+            clients,
+            [{n: v.copy() for n, v in global_state.items()} for _ in range(k)],
+            infos,
+        )
+
+        for s, b in zip(seq, bat):
+            assert s.client_id == b.client_id
+            assert s.num_tokens == b.num_tokens
+            assert s.num_steps == b.num_steps
+            assert s.metrics == b.metrics
+            assert_states_equal(s.delta, b.delta)
+
+    def test_counters_advance_like_sequential(self):
+        info = RoundInfo(round_idx=0, local_steps=2, global_step_base=0)
+        clients = make_clients(CFG, OPTIM, 2)
+        state = DecoderLM(CFG, seed=7).state_dict()
+        train_clients_batched(clients, [state, dict(state)], [info, info])
+        for client in clients:
+            assert client.rounds_participated == 1
+            assert client.tokens_processed == 2 * OPTIM.batch_size * CFG.seq_len
+
+    def test_eligibility_gate(self):
+        eligible = make_clients(CFG, OPTIM, 1)[0]
+        assert batch_eligible(eligible)
+        proximal = make_clients(CFG, OPTIM, 1, proximal_mu=0.1)[0]
+        stateful = make_clients(CFG, OPTIM, 1, stateless=False)[0]
+        assert not batch_eligible(proximal)
+        assert not batch_eligible(stateful)
+        dropout_cfg = ModelConfig("micro", n_blocks=1, d_model=16, n_heads=2,
+                                  vocab_size=32, seq_len=16, dropout=0.1)
+        droppy = LLMClient("d", dropout_cfg, make_stream(dropout_cfg), OPTIM,
+                           ConstantLR(3e-3))
+        assert not batch_eligible(droppy)
+
+    def test_group_key_separates_heterogeneous_configs(self):
+        info = RoundInfo(round_idx=0, local_steps=2, global_step_base=0)
+        a = make_clients(CFG, OPTIM, 1)[0]
+        other_optim = OptimConfig(max_lr=3e-3, warmup_steps=2,
+                                  schedule_steps=64, batch_size=2,
+                                  weight_decay=0.1)
+        b = LLMClient("b", CFG, make_stream(CFG), other_optim,
+                      ConstantLR(3e-3))
+        assert batch_group_key(a, info) != batch_group_key(b, info)
+        # Different pulled versions (async) still stack: the LR base is
+        # per-client, not part of the key.
+        later = RoundInfo(round_idx=3, local_steps=2, global_step_base=6)
+        assert batch_group_key(a, info) == batch_group_key(a, later)
+
+
+# ----------------------------------------------------------------------
+# Engine equivalence: each plane replays the sequential run exactly
+# ----------------------------------------------------------------------
+
+def sync_photon(rounds=2, seed=0, **overrides):
+    fed_kwargs = dict(population=4, clients_per_round=3, local_steps=2,
+                      rounds=rounds, server_opt="fedadam", server_lr=0.02,
+                      seed=seed)
+    fed_kwargs.update(overrides)
+    max_workers = fed_kwargs.pop("max_workers", 1)
+    fed = FedConfig(**fed_kwargs)
+    return Photon(CFG, fed, OPTIM, num_shards=4, val_batches=2,
+                  max_workers=max_workers, uptime=0.9,
+                  failure_model=FailureModel(crash_prob=0.1, seed=seed + 1))
+
+
+def async_photon(rounds=3, seed=0, **overrides):
+    """Async with the fault stack live: deadline + requeue, jitter,
+    heterogeneous clock, crash injection, lossy int8 uplink with EF."""
+    fed_kwargs = dict(population=4, clients_per_round=3, local_steps=2,
+                      rounds=rounds, mode="async", buffer_size=2,
+                      staleness_alpha=0.5, deadline=2.0,
+                      drop_policy="requeue", jitter=0.3, compression="int8",
+                      error_feedback=True, server_opt="fedmom",
+                      server_momentum=0.9, seed=seed)
+    fed_kwargs.update(overrides)
+    max_workers = fed_kwargs.pop("max_workers", 1)
+    spread = fed_kwargs.pop("client_speed_spread", 3.0)
+    fed = FedConfig(**fed_kwargs)
+    return Photon(CFG, fed, OPTIM, num_shards=4, val_batches=2,
+                  walltime_config=WALLTIME, client_speed_spread=spread,
+                  max_workers=max_workers, uptime=0.9,
+                  failure_model=FailureModel(crash_prob=0.1, seed=seed + 1))
+
+
+def assert_same_run(a, b):
+    """Two Photon runs are indistinguishable: history, weights, wire
+    accounting and (when present) the drop ledger."""
+    assert len(a.history) == len(b.history)
+    for ra, rb in zip(a.history, b.history):
+        assert ra.clients == rb.clients
+        assert ra.val_perplexity == rb.val_perplexity
+        assert ra.train_loss == rb.train_loss
+        assert ra.comm_bytes_up == rb.comm_bytes_up
+        assert ra.raw_bytes_up == rb.raw_bytes_up
+    assert_states_equal(a.aggregator.global_state, b.aggregator.global_state)
+    ledger_a = getattr(a.aggregator, "drop_ledger", None)
+    if ledger_a is not None:
+        assert ledger_a.state_dict() == b.aggregator.drop_ledger.state_dict()
+
+
+class TestEnginePlaneEquivalence:
+    def test_sync_batched_matches_sequential(self):
+        ref = sync_photon()
+        ref.train()
+        run = sync_photon(local_plane="batched")
+        run.train()
+        assert_same_run(ref, run)
+
+    def test_async_batched_matches_sequential_with_fault_stack(self):
+        """Waves mix pulled versions, deadlines cancel cycles, EF banks
+        int8 residuals — the batched plane must replay all of it."""
+        ref = async_photon()
+        ref.train()
+        run = async_photon(local_plane="batched")
+        run.train()
+        assert_same_run(ref, run)
+        assert ref.aggregator.drop_ledger.total_cancelled_cycles > 0
+
+    def test_sync_procpool_matches_sequential(self):
+        ref = sync_photon()
+        ref.train()
+        run = sync_photon(local_plane="procpool", max_workers=2)
+        run.train()
+        assert_same_run(ref, run)
+
+    def test_async_procpool_matches_sequential(self):
+        ref = async_photon()
+        ref.train()
+        run = async_photon(local_plane="procpool", max_workers=2)
+        run.train()
+        assert_same_run(ref, run)
+
+    def test_mixed_wave_falls_back_per_client(self):
+        """An ineligible (proximal) client inside a batched wave takes
+        the sequential path while the rest stack — same result."""
+        def build(plane):
+            clients = make_clients(CFG, OPTIM, 3)
+            clients.append(LLMClient("p", CFG, make_stream(CFG, shard=3,
+                                                           seed=3),
+                                     OPTIM, ConstantLR(OPTIM.max_lr),
+                                     proximal_mu=0.1))
+            engine = SyncAggregator(
+                CFG, {c.client_id: c for c in clients}, local_plane=plane)
+            engine.run(rounds=2, local_steps=2)
+            return engine
+        ref, bat = build("sequential"), build("batched")
+        assert_states_equal(ref.global_state, bat.global_state)
+
+    def test_vector_client_plane_composes_with_batched(self):
+        ref = sync_photon(client_plane="vector", cohorts=2)
+        ref.train()
+        run = sync_photon(client_plane="vector", cohorts=2,
+                          local_plane="batched")
+        run.train()
+        assert_same_run(ref, run)
+
+
+# ----------------------------------------------------------------------
+# Satellite: persistent dispatch executor (no per-flush churn)
+# ----------------------------------------------------------------------
+
+class _CountingExecutor(engine_module.ThreadPoolExecutor):
+    instances = 0
+
+    def __init__(self, *args, **kwargs):
+        type(self).instances += 1
+        super().__init__(*args, **kwargs)
+
+
+class TestPersistentExecutor:
+    def test_threads_reused_across_flushes(self, monkeypatch):
+        """The engine used to build and tear down a ThreadPoolExecutor
+        per dispatch batch; now exactly one is created per run and the
+        same threads serve every flush."""
+        monkeypatch.setattr(engine_module, "ThreadPoolExecutor",
+                            _CountingExecutor)
+        _CountingExecutor.instances = 0
+        photon = sync_photon(rounds=3, max_workers=2)
+        photon.train()
+        assert _CountingExecutor.instances == 1
+        # ... and the run's finally-block released it.
+        assert photon.aggregator._executor is None
+
+    def test_async_threads_reused_across_flushes(self, monkeypatch):
+        monkeypatch.setattr(engine_module, "ThreadPoolExecutor",
+                            _CountingExecutor)
+        _CountingExecutor.instances = 0
+        # Equipollent clients (no spread, no jitter, no deadline) make
+        # completions tie, so batches of >1 survivors hit the executor.
+        photon = async_photon(rounds=3, max_workers=2, compression="none",
+                              error_feedback=False, jitter=0.0,
+                              deadline=None, drop_policy=None,
+                              client_speed_spread=1.0)
+        photon.train()
+        assert _CountingExecutor.instances == 1
+        assert photon.aggregator._executor is None
+
+    def test_state_dict_shuts_workers_down(self):
+        engine = sync_photon(rounds=1, max_workers=2).aggregator
+        engine._get_executor()
+        assert engine._executor is not None
+        engine.state_dict()
+        assert engine._executor is None
+
+
+# ----------------------------------------------------------------------
+# Satellite: the broadcast state is never aliased or mutated
+# ----------------------------------------------------------------------
+
+class TestGlobalStateAliasing:
+    @pytest.mark.parametrize("proximal_mu", [0.0, 0.1])
+    def test_train_never_mutates_global_state(self, proximal_mu):
+        client = make_clients(CFG, OPTIM, 1, proximal_mu=proximal_mu)[0]
+        global_state = DecoderLM(CFG, seed=7).state_dict()
+        snapshot = {k: v.copy() for k, v in global_state.items()}
+        info = RoundInfo(round_idx=0, local_steps=2, global_step_base=0)
+        client.train(global_state, info)
+        assert_states_equal(global_state, snapshot)
+        # The trained workspace must not alias the broadcast buffers.
+        for name, param in client.model.named_parameters():
+            assert not np.shares_memory(param.data, global_state[name])
+
+    def test_proximal_anchors_are_views_not_copies(self):
+        """The no-personalization path reads the global state through
+        read-only views — zero copies of the full model per round."""
+        client = make_clients(CFG, OPTIM, 1, proximal_mu=0.1)[0]
+        global_state = DecoderLM(CFG, seed=7).state_dict()
+        info = RoundInfo(round_idx=0, local_steps=1, global_step_base=0)
+        # Read-only broadcast buffers must be accepted as-is: a write
+        # anywhere in the training path would raise.
+        for arr in global_state.values():
+            arr.flags.writeable = False
+        client.train(global_state, info)
+
+
+# ----------------------------------------------------------------------
+# Crash-consistent checkpoint/resume under the new planes
+# ----------------------------------------------------------------------
+
+class TestPlaneCheckpointResume:
+    def test_sync_batched_kill_and_resume(self):
+        full, resumed = run_crash_resume(
+            lambda **kw: sync_photon(local_plane="batched", **kw),
+            rounds=2, kill_at=1)
+        assert_bit_exact_resume(full, resumed)
+
+    def test_async_batched_kill_and_resume(self):
+        full, resumed = run_crash_resume(
+            lambda **kw: async_photon(local_plane="batched", **kw),
+            rounds=3, kill_at=2)
+        assert_bit_exact_resume(full, resumed)
+
+    def test_sync_procpool_kill_and_resume(self):
+        full, resumed = run_crash_resume(
+            lambda **kw: sync_photon(local_plane="procpool", max_workers=2,
+                                     **kw),
+            rounds=2, kill_at=1)
+        assert_bit_exact_resume(full, resumed)
+
+    def test_resume_crosses_planes(self):
+        """A sequential checkpoint restores into a batched engine (and
+        vice versa): the plane is execution strategy, not state."""
+        full, resumed = run_crash_resume(
+            lambda **kw: sync_photon(
+                local_plane="batched" if kw.get("resume") else "sequential",
+                **kw),
+            rounds=2, kill_at=1)
+        assert_bit_exact_resume(full, resumed)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+
+class TestPlaneValidation:
+    def test_fed_config_rejects_unknown_plane(self):
+        with pytest.raises(ValueError, match="local_plane"):
+            FedConfig(local_plane="vectorized")
+
+    def test_fed_config_rejects_procpool_with_compressed_broadcast(self):
+        with pytest.raises(ValueError, match="compress_broadcast"):
+            FedConfig(local_plane="procpool", compression="int8",
+                      compress_broadcast=True)
+
+    def test_engine_rejects_unknown_plane(self):
+        clients = {c.client_id: c for c in make_clients(CFG, OPTIM, 1)}
+        with pytest.raises(ValueError, match="local_plane"):
+            SyncAggregator(CFG, clients, local_plane="bogus")

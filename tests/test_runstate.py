@@ -30,6 +30,7 @@ from repro.fed import (
     pack_tree,
     unpack_tree,
 )
+from repro.fed import runstate
 from repro.fed.runstate import RUNSTATE_VERSION
 from repro.net.walltime import JitterModel
 
@@ -283,20 +284,99 @@ class TestRunStateCheckpointer:
         assert ckpt.restore(twin) == 1
         original, restored = opt.state_dict(), twin.server_opt.state_dict()
         assert restored["t"] == original["t"]
-        for moment in ("m", "v"):
-            for key, value in original[moment].items():
-                got = restored[moment][key]
-                if spec in ("none", "topk:1.0", "randk:1.0"):
-                    # Full-support sparsification is a permutation:
-                    # lossless like the untouched path.
-                    np.testing.assert_array_equal(got, value)
-                elif spec == "fp16":
-                    np.testing.assert_allclose(got, value, rtol=1.5e-3,
-                                               atol=1e-7)
-                else:
-                    levels = 127 if spec == "int8" else 7
-                    bound = np.abs(value).max() / levels + 1e-12
-                    assert np.abs(got - value).max() <= bound
+        # First moments travel in the linear domain; second moments in
+        # the sqrt domain (what FedAdam's denominator actually uses),
+        # so their codec bounds apply to sqrt(v).
+        for key, value in original["m"].items():
+            got = restored["m"][key]
+            if spec in ("none", "topk:1.0", "randk:1.0"):
+                # Full-support sparsification is a permutation:
+                # lossless like the untouched path.
+                np.testing.assert_array_equal(got, value)
+            elif spec == "fp16":
+                np.testing.assert_allclose(got, value, rtol=1.5e-3, atol=1e-7)
+            else:
+                levels = 127 if spec == "int8" else 7
+                bound = np.abs(value).max() / levels + 1e-12
+                assert np.abs(got - value).max() <= bound
+        for key, value in original["v"].items():
+            got = restored["v"][key]
+            root, got_root = np.sqrt(value), np.sqrt(restored["v"][key])
+            if spec == "none":
+                np.testing.assert_array_equal(got, value)
+            elif spec in ("topk:1.0", "randk:1.0"):
+                # Lossless transport of sqrt(v); only the float32
+                # sqrt→square round trip (≤2 eps relative) remains.
+                np.testing.assert_allclose(got, value, rtol=5e-7, atol=0.0)
+            elif spec == "fp16":
+                np.testing.assert_allclose(got_root, root, rtol=1.6e-3,
+                                           atol=1e-7)
+            else:
+                levels = 127 if spec == "int8" else 7
+                bound = np.abs(root).max() / levels + 1e-6
+                assert np.abs(got_root - root).max() <= bound
+
+    def test_int8_sqrt_domain_bounds_the_adam_denominator(self, tmp_path):
+        """The PR 5 caveat, retired: FedAdam divides by
+        ``sqrt(v_hat) + eps``, and the old linear-domain int8 bound
+        (proportional to ``max |v|``) let the *denominator* error
+        explode for small second moments.  Quantizing in the sqrt
+        domain bounds the denominator directly, across the orders of
+        magnitude a real moment tree spans."""
+        opt = FedAdam(lr=0.02)
+        v = np.array([1e-8, 1e-6, 1e-4, 1e-2, 1.0], dtype=np.float32)
+        opt._m = {"w": np.zeros(5, dtype=np.float32)}
+        opt._v = {"w": v}
+        opt._t = 3
+        ckpt = RunStateCheckpointer(tmp_path, codec="int8")
+        ckpt.save(_OptOnlyEngine(opt), step=1)
+        twin = _OptOnlyEngine(FedAdam(lr=0.02))
+        ckpt.restore(twin)
+        got_v = twin.server_opt.state_dict()["v"]["w"]
+        # sqrt-domain guarantee: |sqrt(got) - sqrt(v)| <= max sqrt(v)/127.
+        denom_err = np.abs(np.sqrt(got_v) - np.sqrt(v))
+        assert denom_err.max() <= np.sqrt(v).max() / 127 + 1e-7
+        # The linear-domain scheme's bound was max|v|/127 ≈ 7.9e-3 on
+        # v itself — a ~88x denominator error at v=1e-8.  The sqrt
+        # scheme keeps every denominator within 1% of the max scale.
+        assert denom_err.max() <= 0.01 * np.sqrt(v).max()
+
+    def test_premigration_checkpoint_without_sqrt_marker_loads(self, tmp_path,
+                                                               rng):
+        """Artifacts written before the sqrt transform carry no marker
+        and must restore unchanged (no RUNSTATE_VERSION bump)."""
+        opt = _stepped_fedadam(rng)
+        ckpt = RunStateCheckpointer(tmp_path, codec="fp16")
+        # Re-create the old artifact layout: codec-wrap the raw tree
+        # without the sqrt transform.
+        tree = {"server_opt": runstate._codec_wrap(
+            opt.state_dict(), ckpt.codec)}
+        arrays, structure = runstate.pack_tree(tree)
+        ckpt.manager.save(1, arrays, metadata={
+            "runstate_version": RUNSTATE_VERSION,
+            "codec": "fp16",
+            "tree": structure,
+        })
+        twin = _OptOnlyEngine(FedAdam(lr=0.02))
+        assert ckpt.restore(twin) == 1
+        original = opt.state_dict()
+        restored = twin.server_opt.state_dict()
+        np.testing.assert_allclose(restored["v"]["w"], original["v"]["w"],
+                                   rtol=1.5e-3, atol=1e-7)
+
+    def test_sqrt_transform_skips_velocity_trees(self, tmp_path):
+        """FedMom's velocity has no division — it must pass through
+        the sqrt transform untouched (negative values would NaN)."""
+        opt = FedMom(lr=1.0, momentum=0.9)
+        opt._velocity = {"w": np.array([-2.0, -0.5, 0.0, 1.5],
+                                       dtype=np.float32)}
+        ckpt = RunStateCheckpointer(tmp_path, codec="topk:1.0")
+        ckpt.save(_OptOnlyEngine(opt), step=1)
+        twin = _OptOnlyEngine(FedMom(lr=1.0, momentum=0.9))
+        ckpt.restore(twin)
+        np.testing.assert_array_equal(
+            twin.server_opt.state_dict()["velocity"]["w"],
+            opt.state_dict()["velocity"]["w"])
 
     def test_fp16_representable_moments_are_bit_exact(self, tmp_path):
         opt = FedMom(lr=1.0, momentum=0.9)
