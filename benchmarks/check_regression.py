@@ -57,7 +57,16 @@ def compare(artifact: dict, baseline: dict, metric: str,
             continue
         old_v, new_v = base.get(metric), new.get(metric)
         if old_v is None or new_v is None:
-            failures.append(f"arm {name!r}: metric {metric!r} missing")
+            # Name the side that dropped the metric — a typo'd --metric
+            # or a bench that stopped emitting a gated field should be
+            # a one-glance diagnosis, not archaeology.
+            side = ("baseline" if old_v is None else "artifact")
+            have = sorted(k for k, v in (base if old_v is None else new).items()
+                          if isinstance(v, (int, float)))
+            failures.append(
+                f"arm {name!r}: gated metric {metric!r} missing from the "
+                f"{side} — numeric metrics present there: {have}"
+            )
             continue
         if old_v == 0 and new_v != 0:
             # A zero baseline would make any relative delta vacuous —

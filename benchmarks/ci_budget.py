@@ -1,0 +1,56 @@
+"""Run a command under a wall-clock budget and fail CI if it blows it.
+
+The tier-1 suite carries a hard latency budget (ROADMAP: keep the PR
+loop under 90 s) — a slow creep there taxes every future PR.  Both the
+PR and nightly jobs wrap their pytest invocations with this script
+instead of duplicating the timing arithmetic in workflow bash:
+
+    python benchmarks/ci_budget.py --budget-s 90 -- \
+        python -m pytest -x -q
+
+The wrapped command's exit status is propagated verbatim; going over
+budget turns a green run into a failure with a ``::error::`` line
+GitHub renders as an annotation.  (Measured here with a monotonic
+clock, not the runner's shell, so the check is the same locally.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run a command and fail if it exceeds a time budget")
+    parser.add_argument("--budget-s", type=float, required=True,
+                        help="wall-clock budget in seconds")
+    parser.add_argument("command", nargs=argparse.REMAINDER,
+                        help="command to run (prefix with --)")
+    args = parser.parse_args(argv)
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        parser.error("no command given (usage: ci_budget.py --budget-s N -- cmd ...)")
+    if args.budget_s <= 0:
+        parser.error("--budget-s must be positive")
+
+    started = time.monotonic()
+    status = subprocess.run(command).returncode
+    elapsed = time.monotonic() - started
+
+    verdict = "within" if elapsed <= args.budget_s else "OVER"
+    print(f"ci_budget: {elapsed:.1f}s / {args.budget_s:.0f}s budget "
+          f"({verdict}), exit {status}")
+    if elapsed > args.budget_s:
+        print(f"::error::command took {elapsed:.1f}s, over the "
+              f"{args.budget_s:.0f}s budget")
+        return status or 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

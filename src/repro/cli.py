@@ -153,6 +153,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume from the latest run-state checkpoint "
                             "under DIR (implies --checkpoint-dir DIR; "
                             "--rounds is the total target)")
+    train.add_argument("--tiers", type=int, default=None,
+                       help="hierarchical federation: number of region-level "
+                            "edge aggregators between the clients and the "
+                            "root (1 = identity tier, bit-exact vs flat; "
+                            "region 0 is the root site)")
+    train.add_argument("--tier-compression", default="none",
+                       help="edge->root backhaul codec (same grammar as "
+                            "--compression; needs --tiers)")
+    train.add_argument("--replicas", type=int, default=0,
+                       help="standby servers receiving versioned RunState "
+                            "snapshots over the wire; a crashed root "
+                            "promotes the newest surviving one")
+    train.add_argument("--replicate-every", type=int, default=1,
+                       metavar="N",
+                       help="replication cadence in server updates (the "
+                            "staleness bound per crash; needs --replicas)")
+    train.add_argument("--server-crash-prob", type=float, default=0.0,
+                       help="per-(server, round) probability that the seeded "
+                            "crash model kills the root or an edge server "
+                            "at a round boundary")
 
     diloco = sub.add_parser("diloco", help="run the DiLoCo baseline")
     diloco.add_argument("--model", default="tiny")
@@ -223,7 +243,12 @@ def _cmd_train(args) -> int:
                     checkpoint_dir=checkpoint_dir,
                     checkpoint_every=args.checkpoint_every,
                     checkpoint_codec=args.checkpoint_codec,
-                    resume=args.resume is not None)
+                    resume=args.resume is not None,
+                    tiers=args.tiers,
+                    tier_compression=args.tier_compression,
+                    replicas=args.replicas,
+                    replicate_every=args.replicate_every,
+                    server_crash_prob=args.server_crash_prob)
     optim = OptimConfig(max_lr=args.max_lr,
                         warmup_steps=_warmup_for(fed.total_client_steps),
                         schedule_steps=fed.total_client_steps,
@@ -287,6 +312,22 @@ def _cmd_train(args) -> int:
               f"steps / {result.dropped_bytes:,} bytes, "
               f"{result.salvaged_steps} salvaged, "
               f"{result.deadline_misses} late admits")
+    if fed.tiers is not None:
+        regions = photon.aggregator.edge_tier.regions
+        print(f"hierarchy       : {fed.tiers} region(s) "
+              f"({', '.join(r.name for r in regions)}); "
+              f"backhaul codec={fed.tier_compression}, "
+              f"{result.backhaul_raw_bytes:,} raw -> "
+              f"{result.backhaul_wire_bytes:,} wire bytes; "
+              f"{result.edge_crashes} edge crash(es), "
+              f"{result.edge_updates_lost} update(s) lost")
+    if photon.failover is not None:
+        print(f"failover        : {fed.replicas} replica(s) every "
+              f"{fed.replicate_every} update(s); "
+              f"{result.server_crashes} root crash(es), "
+              f"{result.server_updates_lost} update(s) lost, "
+              f"recovery {result.recovery_s_total:.3f} s, "
+              f"{result.replication_wire_bytes:,} replication bytes")
     if checkpoint_dir is not None:
         latest = photon.run_checkpointer.latest_step()
         print(f"checkpoints     : {checkpoint_dir} "

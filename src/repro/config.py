@@ -188,6 +188,20 @@ class FedConfig:
     verbatim replay); ``feasibility_quantile`` folds a lognormal
     jitter quantile margin into the ranked schedulers'
     deadline-feasibility check (None = legacy mean-only).
+
+    Hierarchy & failover knobs (see :mod:`repro.fed.edge` and
+    :mod:`repro.fed.failover`): ``tiers`` inserts that many
+    region-level edge aggregators between the clients and the root
+    (region 0 is the root site; ``tiers=1`` is the identity tier,
+    bit-exact vs the flat engine); ``tier_compression`` is the
+    edge→root backhaul codec spec (per-hop error feedback engages
+    automatically when it is lossy and ``error_feedback`` is on);
+    ``replicas`` standby servers receive a versioned RunState snapshot
+    every ``replicate_every`` server updates, bounding the staleness
+    of a failover to ``replicate_every`` updates per crash;
+    ``server_crash_prob`` is the per-(server, round) probability that
+    the seeded crash model kills the root or an edge server at a
+    round boundary.
     """
 
     population: int = 8
@@ -222,6 +236,11 @@ class FedConfig:
     ef_staleness_gamma: float = 1.0
     feasibility_quantile: float | None = None
     local_plane: str = "sequential"
+    tiers: int | None = None
+    tier_compression: str = "none"
+    replicas: int = 0
+    server_crash_prob: float = 0.0
+    replicate_every: int = 1
 
     def __post_init__(self) -> None:
         if self.clients_per_round > self.population:
@@ -350,6 +369,27 @@ class FedConfig:
                     "feasibility_quantile needs a ranked selection policy "
                     "('fastest' or 'utility')"
                 )
+        if self.tiers is not None and self.tiers < 1:
+            raise ValueError(f"tiers must be >= 1, got {self.tiers}")
+        if self.tier_compression != "none" and self.tiers is None:
+            raise ValueError("tier_compression needs tiers (it is the "
+                             "edge→root backhaul codec)")
+        _check_compression_spec(self.tier_compression)
+        if self.replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {self.replicas}")
+        if not 0.0 <= self.server_crash_prob < 1.0:
+            raise ValueError(
+                f"server_crash_prob must be in [0, 1), got "
+                f"{self.server_crash_prob}"
+            )
+        if self.replicate_every < 1:
+            raise ValueError(
+                f"replicate_every must be >= 1, got {self.replicate_every}"
+            )
+        if self.replicate_every > 1 and self.replicas < 1:
+            raise ValueError("replicate_every > 1 needs replicas >= 1 "
+                             "(there is no snapshot cadence without a "
+                             "replica to ship to)")
 
     @property
     def jitter_active(self) -> bool:

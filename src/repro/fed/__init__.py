@@ -13,6 +13,8 @@ from .checkpoint import CheckpointManager
 from .client import LLMClient
 from .continual import PersonalizationResult, continue_pretraining, personalize
 from .contrib import ContributionTracker, PowerOfChoiceSampler, cosine_alignment
+from .edge import EdgeReport, EdgeTier, Region, paper_regions, round_robin_assign
+from .failover import FailoverController, ReplicaSet
 from .faults import (
     ClientFailure,
     DeadlinePolicy,
@@ -120,6 +122,13 @@ __all__ = [
     "FaultPolicy",
     "DeadlinePolicy",
     "DropLedger",
+    "Region",
+    "EdgeTier",
+    "EdgeReport",
+    "paper_regions",
+    "round_robin_assign",
+    "ReplicaSet",
+    "FailoverController",
     "TiesAggregator",
     "ties_merge",
     "PersonalizationResult",

@@ -311,7 +311,8 @@ class RoundEngine:
                  run_checkpointer=None,
                  checkpoint_every: int = 1,
                  init_seed: int = 0,
-                 local_plane: str = "sequential"):
+                 local_plane: str = "sequential",
+                 edge_tier=None):
         if not clients:
             raise ValueError("the federation needs at least one client")
         self.model_config = model_config
@@ -362,6 +363,14 @@ class RoundEngine:
         # Custom delta merging (e.g. TIES for heterogeneous clients,
         # Section 6); None means the paper's uniform/weighted mean.
         self.merge_fn = merge_fn
+        # Hierarchical federation (repro.fed.edge): when set, the
+        # round merge runs region-by-region with an edge→root backhaul
+        # hop per region instead of one flat tree_mean.  Both rewire
+        # the same merge step, so they are mutually exclusive.
+        if edge_tier is not None and merge_fn is not None:
+            raise ValueError("edge_tier and merge_fn both replace the merge "
+                             "step; configure one or the other")
+        self.edge_tier = edge_tier
         # Compression-residual memory (EF/EF21): engaged only when the
         # Link actually runs a lossy uplink codec, so a lossless run
         # with error feedback configured stays bit-exact.
@@ -434,7 +443,21 @@ class RoundEngine:
             weights = [float(u.num_tokens) for u in updates] if self.weighted else None
         if self.merge_fn is not None:
             return self.merge_fn(deltas, weights)
+        if self.edge_tier is not None:
+            return self.edge_tier.aggregate(
+                [u.client_id for u in updates], deltas, weights,
+                version=self._ef_version())
         return tree_mean(deltas, weights)
+
+    def _consume_edge_report(self, record: RoundRecord) -> None:
+        """Fold the edge tier's per-merge accounting into the round's
+        record (backhaul volume, slowest hop, crash losses)."""
+        report = self.edge_tier.pop_report()
+        record.backhaul_wire_bytes = report.wire_bytes
+        record.backhaul_raw_bytes = report.raw_bytes
+        record.backhaul_hop_s = report.hop_s
+        record.edge_updates_lost = report.updates_lost
+        record.edge_crashes = report.crashes
 
     # ------------------------------------------------------------------
     def _collect_update(self, client_id: str, message: Message,
@@ -681,6 +704,7 @@ class RoundEngine:
             "failure_model": opt(self.failure_model),
             "error_feedback": opt(self.error_feedback),
             "walltime": opt(self.walltime),
+            "edge_tier": opt(self.edge_tier),
             "clients": (
                 self.clients.state_dict()
                 if hasattr(self.clients, "lease")
@@ -716,7 +740,8 @@ class RoundEngine:
         for component, key in ((self.availability, "availability"),
                                (self.failure_model, "failure_model"),
                                (self.error_feedback, "error_feedback"),
-                               (self.walltime, "walltime")):
+                               (self.walltime, "walltime"),
+                               (self.edge_tier, "edge_tier")):
             if component is not None and state.get(key) is not None:
                 component.load_state_dict(state[key])
         if hasattr(self.clients, "lease"):
@@ -893,6 +918,8 @@ class SyncAggregator(RoundEngine):
             failed_clients=sorted(set(selected) - {u.client_id for u in updates}),
             retries=retries,
         )
+        if self.edge_tier is not None:
+            self._consume_edge_report(record)
         if self.walltime is not None:
             # Timed over everyone *asked* to train: failed clients
             # consumed barrier time before dropping out.
@@ -901,7 +928,10 @@ class SyncAggregator(RoundEngine):
             )
             # Redone rounds (RAR dropout semantics) cost full wall time
             # per attempt.
-            record.wall_time_s = timing.total_s * (1 + retries)
+            # ... plus the slowest edge→root backhaul hop when a tier
+            # is configured (zero on the flat path).
+            record.wall_time_s = (timing.total_s * (1 + retries)
+                                  + record.backhaul_hop_s)
             self.simulated_wall_time_s += record.wall_time_s
         self.history.append(record)
         return record
@@ -1446,13 +1476,18 @@ class AsyncAggregator(RoundEngine):
             deadline_misses=window["deadline_misses"],
             salvaged_steps=window["salvaged_steps"],
         )
+        if self.edge_tier is not None:
+            self._consume_edge_report(record)
         self._failed_pending.clear()
         self._window_retries = 0
         # Without a wall-time model the event clock ticks placeholder
         # units; leave the public timing fields at 0.0 like the sync
         # engine rather than reporting fake seconds.
         if self.walltime is not None:
-            record.wall_time_s = self.clock_s - self._last_flush_clock
+            # The flush additionally waits for the slowest edge→root
+            # backhaul hop (zero on the flat path).
+            record.wall_time_s = (self.clock_s - self._last_flush_clock
+                                  + record.backhaul_hop_s)
             self.simulated_wall_time_s += record.wall_time_s
         self._last_flush_clock = self.clock_s
         self._bytes_up_mark = self.link.bytes_received

@@ -120,6 +120,41 @@ class Link:
             self.messages_sent += 1
         return message
 
+    def send_blob(self, payload: bytes, sender: str, receiver: str,
+                  metadata: dict | None = None,
+                  raw_nbytes: int | None = None) -> Message:
+        """Ship an opaque byte payload with the usual metering.
+
+        Used for artifacts that must survive the wire dtype-exactly
+        (packed ``RunState`` trees carry int64 counters and RNG pool
+        bytes, which ``encode_state`` would cast to float32).  The
+        caller owns serialization; the Link only meters.  ``raw_nbytes``
+        is the pre-compression size for the raw-volume column
+        (defaults to the payload size).
+        """
+        message = Message(sender, receiver, payload, metadata or {})
+        raw = (len(payload) if raw_nbytes is None else raw_nbytes) + self.METADATA_OVERHEAD
+        wire = message.nbytes + self.METADATA_OVERHEAD
+        with self._lock:
+            self.bytes_sent += wire
+            self.raw_bytes_sent += raw
+            if sender == "agg":
+                self.downlink_wire_bytes += wire
+                self.downlink_raw_bytes += raw
+            else:
+                self.uplink_wire_bytes += wire
+                self.uplink_raw_bytes += raw
+            self.messages_sent += 1
+        return message
+
+    def recv_blob(self, message: Message,
+                  raw_nbytes: int | None = None) -> tuple[bytes, dict]:
+        raw = (message.nbytes if raw_nbytes is None else raw_nbytes)
+        with self._lock:
+            self.bytes_received += message.nbytes + self.METADATA_OVERHEAD
+            self.raw_bytes_received += raw + self.METADATA_OVERHEAD
+        return message.payload, message.metadata
+
     def recv_state(self, message: Message) -> tuple[StateDict, dict]:
         codec = self._codec_for(message.sender)
         state = (decode_state(message.payload) if codec is None

@@ -34,8 +34,10 @@ from ..net.walltime import JitterModel, WallTimeModel
 from ..optim import LRSchedule, WarmupCosine
 from ..utils.metrics import History
 from .aggregator import Aggregator
+from .edge import EdgeTier, paper_regions, round_robin_assign
 from .engine import AsyncAggregator, RoundEngine, check_deadline_feasible
 from .client import LLMClient
+from .failover import FailoverController
 from .faults import DeadlinePolicy, FailureModel, FaultPolicy
 from .link import Link
 from .population import (
@@ -80,6 +82,19 @@ class PhotonResult:
     # Crash recovery: the server update the run was restored from
     # (None for a run that started fresh).
     resumed_from_round: "int | None" = None
+    # Hierarchical federation: edge→root backhaul volume and edge-
+    # server crash losses (all 0 on the flat single-server path).
+    backhaul_wire_bytes: int = 0
+    backhaul_raw_bytes: int = 0
+    edge_crashes: int = 0
+    edge_updates_lost: int = 0
+    # Server failover (FailoverController): root crashes survived,
+    # server updates rolled back across them, and the real wall time
+    # spent promoting replicas / cold-restarting.
+    server_crashes: int = 0
+    server_updates_lost: int = 0
+    recovery_s_total: float = 0.0
+    replication_wire_bytes: int = 0
 
 
 class Photon:
@@ -129,6 +144,16 @@ class Photon:
     upload (``error_feedback`` keeps per-client EF residuals,
     ``compress_broadcast`` also compresses the server broadcast);
     ``"none"`` is the paper's lossless zlib, byte-exact.
+
+    Hierarchy & failover ride on ``fed_config`` as well: ``tiers``
+    inserts region-level edge aggregators between the clients and the
+    root (``tiers=1`` is the bit-exact identity tier), with
+    ``tier_compression`` as the edge→root backhaul codec;
+    ``replicas``/``replicate_every``/``server_crash_prob`` wrap the
+    run in a :class:`~repro.fed.failover.FailoverController` that
+    streams RunState snapshots to standbys and promotes one after a
+    root crash.  ``server_failure_model`` injects a scripted crash
+    model instead (deterministic failover tests/benchmarks).
     """
 
     def __init__(self, model_config: ModelConfig, fed_config: FedConfig,
@@ -150,7 +175,8 @@ class Photon:
                  max_workers: int = 1,
                  client_speed_spread: float = 1.0,
                  data_seed: int = 1234,
-                 init_seed: int = 0):
+                 init_seed: int = 0,
+                 server_failure_model: FailureModel | None = None):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if not 0.0 < uptime <= 1.0:
@@ -333,6 +359,42 @@ class Photon:
             ErrorFeedback(staleness_gamma=fed_config.ef_staleness_gamma)
             if fed_config.error_feedback and codec is not None else None
         )
+        # ONE seeded server-crash model (injected, or built from
+        # server_crash_prob) shared by the edge tier and the failover
+        # controller, so root, edge and replica draws all come from a
+        # single deterministic stream.  Crash keys are namespaced by
+        # server id ("root", "edge:<region>", "root/replica<i>"), so
+        # sharing never aliases two servers' draws.
+        self.server_failure_model = server_failure_model
+        if (self.server_failure_model is None
+                and fed_config.server_crash_prob > 0.0):
+            self.server_failure_model = FailureModel(
+                crash_prob=fed_config.server_crash_prob,
+                seed=fed_config.seed + 7919,  # offset off the client stream
+            )
+        # Hierarchical edge tier (repro.fed.edge): region 0 is the
+        # root site (loopback); further regions pay the paper
+        # topology's England backhaul through their own codec channel.
+        edge_tier = None
+        if fed_config.tiers is not None:
+            if self.population is not None:
+                population, n_tiers = self.population, fed_config.tiers
+                assign = (lambda cid: population.index_of(cid) % n_tiers)
+            else:
+                assign = round_robin_assign(client_ids, fed_config.tiers)
+            tier_codec = make_codec(fed_config.tier_compression,
+                                    seed=fed_config.seed + 1)
+            edge_tier = EdgeTier(
+                paper_regions(fed_config.tiers), assign,
+                backhaul=Link(uplink_codec=tier_codec),
+                error_feedback=(
+                    ErrorFeedback(staleness_gamma=fed_config.ef_staleness_gamma)
+                    if fed_config.error_feedback and tier_codec is not None
+                    else None
+                ),
+                failure_model=self.server_failure_model,
+                replicated=fed_config.replicas > 0,
+            )
         engine_kwargs = dict(
             model_config=model_config,
             clients=clients,
@@ -361,6 +423,7 @@ class Photon:
             checkpoint_every=fed_config.checkpoint_every or 1,
             init_seed=init_seed,
             local_plane=fed_config.local_plane,
+            edge_tier=edge_tier,
         )
         self.aggregator: RoundEngine
         if fed_config.mode == "async":
@@ -379,6 +442,17 @@ class Photon:
         if fed_config.resume:
             self.resumed_from_round = self.run_checkpointer.restore(
                 self.aggregator
+            )
+        # Failover wrapper (repro.fed.failover): replicates the full
+        # RunState to standbys over its own metered Link and survives
+        # root crashes by promoting the newest surviving snapshot.
+        self.failover: FailoverController | None = None
+        if fed_config.replicas > 0 or self.server_failure_model is not None:
+            self.failover = FailoverController(
+                self.aggregator,
+                failure_model=self.server_failure_model,
+                replicas=fed_config.replicas,
+                replicate_every=fed_config.replicate_every,
             )
 
     # ------------------------------------------------------------------
@@ -507,9 +581,19 @@ class Photon:
             completed = len(self.aggregator.history)
             if rounds - completed < 1:
                 return self.aggregator.history
+            if self.failover is not None:
+                return self.failover.run(
+                    rounds - completed, self.fed_config.local_steps,
+                    target_perplexity=target_perplexity,
+                )
             return self.aggregator.run(
                 rounds - completed, self.fed_config.local_steps,
                 target_perplexity=target_perplexity, start_round=completed,
+            )
+        if self.failover is not None:
+            return self.failover.run(
+                rounds, self.fed_config.local_steps,
+                target_perplexity=target_perplexity,
             )
         return self.aggregator.run(
             rounds, self.fed_config.local_steps, target_perplexity=target_perplexity
@@ -538,6 +622,31 @@ class Photon:
             total_raw_bytes=raw,
             compression_ratio=(raw / wire if wire and raw else 1.0),
             resumed_from_round=self.resumed_from_round,
+            backhaul_wire_bytes=sum(r.backhaul_wire_bytes for r in history),
+            backhaul_raw_bytes=sum(r.backhaul_raw_bytes for r in history),
+            edge_crashes=(
+                self.aggregator.edge_tier.total_crashes
+                if self.aggregator.edge_tier is not None else 0
+            ),
+            edge_updates_lost=(
+                self.aggregator.edge_tier.total_updates_lost
+                if self.aggregator.edge_tier is not None else 0
+            ),
+            server_crashes=(
+                self.failover.crashes if self.failover is not None else 0
+            ),
+            server_updates_lost=(
+                sum(self.failover.updates_lost)
+                if self.failover is not None else 0
+            ),
+            recovery_s_total=(
+                sum(self.failover.recovery_s)
+                if self.failover is not None else 0.0
+            ),
+            replication_wire_bytes=(
+                self.failover.link.bytes_sent
+                if self.failover is not None else 0
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from .walltime import (
     RoundTiming,
     WallTimeModel,
     gbps_to_mbps,
+    hop_seconds,
 )
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "CommTopology",
     "JitterModel",
     "gbps_to_mbps",
+    "hop_seconds",
     "CommVolume",
     "ddp_volume",
     "federated_volume",

@@ -34,6 +34,7 @@ __all__ = [
     "RoundTiming",
     "WallTimeModel",
     "gbps_to_mbps",
+    "hop_seconds",
 ]
 
 VALID_TOPOLOGIES = ("ps", "ar", "rar")
@@ -42,6 +43,18 @@ VALID_TOPOLOGIES = ("ps", "ar", "rar")
 def gbps_to_mbps(gbps: float) -> float:
     """Convert Gbit/s link speed to MB/s payload rate."""
     return gbps * 1000.0 / 8.0
+
+
+def hop_seconds(nbytes: int, gbps: float) -> float:
+    """Transfer time of ``nbytes`` over a single link of ``gbps`` Gbit/s.
+
+    Used for the edge→root backhaul hop in hierarchical federation,
+    where the payload is the already-compressed wire message rather
+    than the raw model size Eq. 2 assumes.
+    """
+    if gbps <= 0:
+        raise ValueError("link bandwidth must be positive")
+    return nbytes * 8.0 / (gbps * 1e9)
 
 
 @dataclass(frozen=True)

@@ -60,6 +60,15 @@ class RoundRecord:
     dropped_bytes: int = 0
     deadline_misses: int = 0
     salvaged_steps: int = 0
+    # Hierarchical federation (fed/edge.py): edge→root backhaul volume
+    # and slowest-hop transfer time for this round's merge, plus crash
+    # accounting for regional aggregators killed mid-round.  All zero
+    # on the flat single-server path.
+    backhaul_wire_bytes: int = 0
+    backhaul_raw_bytes: int = 0
+    backhaul_hop_s: float = 0.0
+    edge_updates_lost: int = 0
+    edge_crashes: int = 0
 
     @property
     def train_perplexity(self) -> float:
