@@ -28,11 +28,17 @@ wire bytes against the committed baseline via ``check_regression.py``.
 
 from __future__ import annotations
 
+import bz2
 import json
+import lzma
+import time
+import zlib
 from pathlib import Path
 
+from repro.compress import make_codec
 from repro.config import FedConfig, OptimConfig
 from repro.fed import Photon
+from repro.fed.types import RoundInfo
 
 from common import SMALL, print_table
 
@@ -65,6 +71,54 @@ def _photon(mode: str, compression: str, error_feedback: bool) -> Photon:
     return Photon(SMALL, fed, optim, num_shards=POPULATION, val_batches=2)
 
 
+#: Entropy coders compared over the *same* post-stage byte stream.
+#: All three are stdlib; zlib level 6 is what ``Codec.encode`` ships.
+ENTROPY_CODERS = [
+    ("zlib-6", lambda b: zlib.compress(b, 6), zlib.decompress),
+    ("zlib-9", lambda b: zlib.compress(b, 9), zlib.decompress),
+    ("lzma-6", lambda b: lzma.compress(b, preset=6), lzma.decompress),
+    ("bz2-9", lambda b: bz2.compress(b, 9), bz2.decompress),
+]
+
+
+def run_entropy_bench() -> dict[str, dict]:
+    """Entropy-coder micro-bench over real codec output.
+
+    Trains one genuine client cycle (LOCAL_STEPS steps on the initial
+    global weights) and runs each stdlib entropy coder over the exact
+    packed byte stream the int8 / top-k stage chains hand to zlib
+    (``Codec.stage_payload``) — answering the ROADMAP question of
+    whether a stronger container coder is worth the CPU on already-
+    quantized streams.
+    """
+    photon = _photon("sync", "none", False)
+    agg = photon.aggregator
+    cid = sorted(agg.clients)[0]
+    client = agg.clients[cid]
+    update = client.train(agg.global_state, RoundInfo(
+        round_idx=0, local_steps=LOCAL_STEPS, global_step_base=0))
+
+    out: dict[str, dict] = {}
+    for stream_name, spec in (("int8", "int8"), ("topk", TOPK_SPEC)):
+        codec = make_codec(spec, seed=0)
+        payload = codec.stage_payload(update.delta, sender=cid,
+                                      receiver="agg")
+        row: dict = {"spec": spec, "payload_bytes": len(payload),
+                     "coders": {}}
+        for coder, compress, decompress in ENTROPY_CODERS:
+            t0 = time.perf_counter()
+            packed = compress(payload)
+            encode_s = time.perf_counter() - t0
+            assert decompress(packed) == payload, coder
+            row["coders"][coder] = {
+                "bytes": len(packed),
+                "ratio": len(payload) / len(packed),
+                "encode_s": encode_s,
+            }
+        out[stream_name] = row
+    return out
+
+
 def run_ablation() -> dict[str, dict]:
     results = {}
     for mode in ("sync", "async"):
@@ -89,6 +143,9 @@ def run_ablation() -> dict[str, dict]:
 
 def test_compression_ablation(run_once):
     results = run_once(run_ablation)
+    # One extra client cycle, outside the benchmark timer: the
+    # entropy-coder comparison over real post-stage byte streams.
+    entropy = run_entropy_bench()
 
     rows = [[name, r["uplink_wire_bytes"], f"{r['uplink_reduction']:.1f}x",
              r["final_loss"], r["final_ppl"]]
@@ -99,15 +156,40 @@ def test_compression_ablation(run_once):
         ["Arm", "Uplink wire (B)", "Reduction", "Final loss", "Final ppl"],
         rows,
     )
+    entropy_rows = [
+        [f"{stream}/{coder}", row["payload_bytes"], c["bytes"],
+         f"{c['ratio']:.2f}x", f"{c['encode_s'] * 1e3:.1f} ms"]
+        for stream, row in entropy.items()
+        for coder, c in row["coders"].items()
+    ]
+    print_table(
+        "Entropy coders over post-stage code streams (one real client "
+        "delta)",
+        ["Stream/coder", "Payload (B)", "Packed (B)", "Ratio", "Encode"],
+        entropy_rows,
+    )
 
     ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    # NOTE: "entropy" lives at the artifact top level, NOT under
+    # "results" — check_regression.py demands arm-for-arm symmetry of
+    # "results" with the committed baseline and would fail on the
+    # extra keys.
     ARTIFACT.write_text(json.dumps({
         "config": {
             "population": POPULATION, "local_steps": LOCAL_STEPS,
             "rounds": ROUNDS, "batch": BATCH, "topk_spec": TOPK_SPEC,
         },
         "results": results,
+        "entropy": entropy,
     }, indent=2))
+
+    # The entropy micro-bench is sanity-gated, not regression-gated:
+    # every coder must round-trip (asserted inside) and actually
+    # compress the already-quantized stream.
+    for stream, row in entropy.items():
+        assert row["payload_bytes"] > 0, stream
+        for coder, c in row["coders"].items():
+            assert c["bytes"] > 0 and c["ratio"] > 1.0, (stream, coder)
 
     # Every arm applies the same number of server updates ...
     assert all(r["server_updates"] == ROUNDS for r in results.values())

@@ -16,35 +16,50 @@ kills servers mid-run and shows what each defence buys:
 
 Run:
     python examples/hierarchical_failover.py
+    python examples/hierarchical_failover.py --trace /tmp/hier.json
+        # ... then: python -m repro.obs.analyze /tmp/hier.json
+        # or load the file in https://ui.perfetto.dev
 """
 
 from __future__ import annotations
 
-from repro.config import FedConfig, ModelConfig, OptimConfig
+import argparse
+
+from repro.config import FedConfig, ModelConfig, OptimConfig, WallTimeConfig
 from repro.fed import FailureModel, Photon
 
 MODEL = ModelConfig("hier-demo", n_blocks=1, d_model=16, n_heads=2,
                     vocab_size=32, seq_len=16)
 OPTIM = OptimConfig(max_lr=4e-3, warmup_steps=2, schedule_steps=256,
                     batch_size=4, weight_decay=0.0)
+#: Simulated client/backhaul timing — purely observational (the sync
+#: barrier math never reads it), but it gives the flight recorder a
+#: non-degenerate simulated clock to place spans on.
+WALLTIME = WallTimeConfig(throughput=2.0, bandwidth_mbps=312.5,
+                          model_mb=MODEL.param_bytes / 2**20)
 POPULATION = 6
 ROUNDS = 6
 TIERS = 3  # England (root site), Utah, Texas
 
 
-def build_photon(crashes: set | None, replicas: int) -> Photon:
+def build_photon(crashes: set | None, replicas: int,
+                 trace_path: str | None = None) -> Photon:
     fed = FedConfig(population=POPULATION, clients_per_round=POPULATION,
                     local_steps=4, rounds=ROUNDS,
                     tiers=TIERS, tier_compression="int8",
                     error_feedback=True,
-                    replicas=replicas, replicate_every=1)
+                    replicas=replicas, replicate_every=1,
+                    trace_path=trace_path,
+                    metrics_every=1 if trace_path else None)
     return Photon(MODEL, fed, OPTIM, num_shards=POPULATION, val_batches=2,
+                  walltime_config=WALLTIME,
                   server_failure_model=(FailureModel(scripted=set(crashes))
                                         if crashes else None))
 
 
-def run(label: str, crashes: set | None, replicas: int):
-    photon = build_photon(crashes, replicas)
+def run(label: str, crashes: set | None, replicas: int,
+        trace_path: str | None = None):
+    photon = build_photon(crashes, replicas, trace_path)
     history = photon.train()
     result = photon.result()
     print(f"\n== {label} ==")
@@ -61,17 +76,27 @@ def run(label: str, crashes: set | None, replicas: int):
     return history
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record the root-crash arm's flight-recorder "
+                             "trace (Chrome trace-event JSON; inspect with "
+                             "python -m repro.obs.analyze or Perfetto)")
+    args = parser.parse_args(argv)
+
     clean = run("no crashes", None, replicas=0)
     run("edge crash, no replica (cohort dropped)",
         {(2, "edge:Utah")}, replicas=0)
     run("edge crash, replicated (hop paid twice)",
         {(2, "edge:Utah")}, replicas=1)
     promoted = run("root crash, replica promotes",
-                   {(3, "root")}, replicas=1)
+                   {(3, "root")}, replicas=1, trace_path=args.trace)
     same = clean.val_perplexities == promoted.val_perplexities
     print(f"\nroot-crash history identical to uninterrupted run: {same}")
     assert same
+    if args.trace:
+        print(f"trace written   : {args.trace} "
+              f"(analyze: python -m repro.obs.analyze {args.trace})")
 
 
 if __name__ == "__main__":

@@ -173,6 +173,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-(server, round) probability that the seeded "
                             "crash model kills the root or an edge server "
                             "at a round boundary")
+    train.add_argument("--trace", default=None, metavar="PATH",
+                       help="flight recorder: write a Chrome trace-event "
+                            "JSON (Perfetto-loadable) of the run to PATH; "
+                            "analyze with python -m repro.obs.analyze")
+    train.add_argument("--metrics-every", type=int, default=None,
+                       metavar="N",
+                       help="flush a component-meter snapshot every N "
+                            "server updates to <trace>.metrics.jsonl "
+                            "(needs --trace)")
 
     diloco = sub.add_parser("diloco", help="run the DiLoCo baseline")
     diloco.add_argument("--model", default="tiny")
@@ -248,7 +257,9 @@ def _cmd_train(args) -> int:
                     tier_compression=args.tier_compression,
                     replicas=args.replicas,
                     replicate_every=args.replicate_every,
-                    server_crash_prob=args.server_crash_prob)
+                    server_crash_prob=args.server_crash_prob,
+                    trace_path=args.trace,
+                    metrics_every=args.metrics_every)
     optim = OptimConfig(max_lr=args.max_lr,
                         warmup_steps=_warmup_for(fed.total_client_steps),
                         schedule_steps=fed.total_client_steps,
@@ -333,6 +344,14 @@ def _cmd_train(args) -> int:
         print(f"checkpoints     : {checkpoint_dir} "
               f"(every {fed.checkpoint_every or 1} round(s), "
               f"codec={fed.checkpoint_codec}, latest step {latest})")
+    if args.trace is not None:
+        summary = photon.tracer.summary()
+        print(f"trace           : {args.trace} "
+              f"({summary.get('sim_spans', 0)} sim spans, "
+              f"{summary.get('host_spans', 0)} host spans"
+              + (f"; meters -> {photon.tracer.sink.path}"
+                 if photon.tracer.sink is not None else "")
+              + ")")
     return 0
 
 

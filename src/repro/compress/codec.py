@@ -418,15 +418,25 @@ class Codec:
     def lossless(self) -> bool:
         return not self.stages
 
-    def encode(self, state: StateDict, sender: str = "",
-               receiver: str = "") -> bytes:
+    def stage_payload(self, state: StateDict, sender: str = "",
+                      receiver: str = "") -> bytes:
+        """The packed post-stage byte stream, *before* the entropy
+        coder.  This is exactly what ``encode`` hands to zlib (one RNG
+        advance for stochastic stages, same as a full encode) —
+        exposed so entropy-coder benchmarks can run alternative coders
+        over real codec output."""
         arrays: dict[str, np.ndarray] = {
             k: np.asarray(v, dtype=np.float32) for k, v in state.items()
         }
         channel = (sender, receiver)
         for stage in self.stages:
             arrays = stage.forward(arrays, channel)
-        return self.MAGIC + zlib.compress(_pack_arrays(arrays), self.level)
+        return _pack_arrays(arrays)
+
+    def encode(self, state: StateDict, sender: str = "",
+               receiver: str = "") -> bytes:
+        payload = self.stage_payload(state, sender, receiver)
+        return self.MAGIC + zlib.compress(payload, self.level)
 
     def decode(self, payload: bytes) -> StateDict:
         if payload[:4] != self.MAGIC:

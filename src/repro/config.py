@@ -202,6 +202,14 @@ class FedConfig:
     ``server_crash_prob`` is the per-(server, round) probability that
     the seeded crash model kills the root or an edge server at a
     round boundary.
+
+    Observability knobs (see :mod:`repro.obs`): ``trace_path`` turns
+    on the flight recorder — spans on the simulated and host clocks
+    exported as Chrome trace-event JSON (Perfetto-loadable), analyzed
+    by ``python -m repro.obs.analyze``; ``metrics_every`` additionally
+    flushes a component-meter snapshot every N server updates to
+    ``<trace>.metrics.jsonl``.  Tracing never touches an RNG: a traced
+    and an untraced run produce bit-identical histories.
     """
 
     population: int = 8
@@ -241,6 +249,8 @@ class FedConfig:
     replicas: int = 0
     server_crash_prob: float = 0.0
     replicate_every: int = 1
+    trace_path: str | None = None
+    metrics_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.clients_per_round > self.population:
@@ -390,6 +400,14 @@ class FedConfig:
             raise ValueError("replicate_every > 1 needs replicas >= 1 "
                              "(there is no snapshot cadence without a "
                              "replica to ship to)")
+        if self.metrics_every is not None:
+            if self.metrics_every < 1:
+                raise ValueError(
+                    f"metrics_every must be >= 1, got {self.metrics_every}"
+                )
+            if self.trace_path is None:
+                raise ValueError("metrics_every needs a trace_path (the "
+                                 "metrics sink lives next to the trace)")
 
     @property
     def jitter_active(self) -> bool:

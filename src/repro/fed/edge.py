@@ -30,7 +30,7 @@ merge, so flat histories reproduce bit-for-bit (regression-tested).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..compress.error_feedback import ErrorFeedback
@@ -72,6 +72,13 @@ class EdgeReport:
     hop_s: float = 0.0
     updates_lost: int = 0
     crashes: int = 0
+    #: Per-region detail for the flight recorder: ``(region name,
+    #: hop seconds, wire bytes)`` per forwarded delta, and the names
+    #: of regions whose edge server crashed this merge.  The engine's
+    #: RoundRecord keeps only the scalars above; these lists feed
+    #: backhaul spans / crash markers when tracing is enabled.
+    region_hops: list = field(default_factory=list)
+    crashed_regions: list = field(default_factory=list)
 
 
 def paper_regions(n: int) -> list[Region]:
@@ -162,16 +169,19 @@ class EdgeTier:
         outbound = delta if ef is None else ef.apply(key, delta, version=version)
         decoded = outbound
         hop = 0.0
+        wire = 0
         for _ in range(sends):
             message = self.backhaul.send_state(
                 outbound, sender=key, receiver="root",
                 metadata={"version": version})
             decoded, _ = self.backhaul.recv_state(message)
+            wire += message.nbytes
             hop += hop_seconds(message.nbytes + Link.METADATA_OVERHEAD,
                                region.gbps)
         # Regions transfer in parallel; the merge waits for the
         # slowest hop (a re-forwarding region pays both sends serially).
         self._report.hop_s = max(self._report.hop_s, hop)
+        self._report.region_hops.append((region.name, hop, wire))
         if ef is not None:
             ef.record(key, outbound, decoded, version=version)
         return decoded
@@ -216,6 +226,7 @@ class EdgeTier:
                        and self.failure_model.should_fail(key, version))
             if crashed:
                 self._report.crashes += 1
+                self._report.crashed_regions.append(region.name)
                 self.total_crashes += 1
                 if not self.replicated:
                     # Edge server died holding its cohort's merge: the

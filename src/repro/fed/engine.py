@@ -61,6 +61,7 @@ from ..data.stream import BatchStream
 from ..eval.perplexity import evaluate_perplexity
 from ..net.walltime import JitterModel, WallTimeModel
 from ..nn import DecoderLM
+from ..obs.trace import NULL_TRACER
 from ..utils.metrics import History, RoundRecord, aggregate_metrics
 from ..utils.serialization import StateDict, tree_mean, tree_norm
 from .batched import batch_eligible, batch_group_key, train_clients_batched
@@ -312,7 +313,8 @@ class RoundEngine:
                  checkpoint_every: int = 1,
                  init_seed: int = 0,
                  local_plane: str = "sequential",
-                 edge_tier=None):
+                 edge_tier=None,
+                 tracer=None):
         if not clients:
             raise ValueError("the federation needs at least one client")
         self.model_config = model_config
@@ -386,6 +388,15 @@ class RoundEngine:
             )
         self.run_checkpointer = run_checkpointer
         self.checkpoint_every = checkpoint_every
+        # Flight recorder (repro.obs): the default NULL_TRACER is a
+        # no-op singleton — it consumes no RNG and adds no branches to
+        # the math, so a traced and an untraced run produce bit-exact
+        # histories (a hypothesis-tested regression anchor).  Trace
+        # state is diagnostic only and never enters state_dict().
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Per-region backhaul hops of the last edge merge, stashed by
+        # _consume_edge_report for span emission (enabled tracer only).
+        self._last_region_hops: list = []
 
         # Algorithm 1 L.2: initialize fresh, or warm-start from a
         # provided state (continual pre-training, Section 6).
@@ -458,6 +469,69 @@ class RoundEngine:
         record.backhaul_hop_s = report.hop_s
         record.edge_updates_lost = report.updates_lost
         record.edge_crashes = report.crashes
+        if self.tracer.enabled:
+            self._last_region_hops = report.region_hops
+            meters = self.tracer.meters
+            meters.counter("edge/crashes").inc(report.crashes)
+            meters.counter("edge/updates_lost").inc(report.updates_lost)
+            for region in report.crashed_regions:
+                self.tracer.instant_sim(f"backhaul:{region}", "edge crash",
+                                        self.simulated_wall_time_s,
+                                        region=region)
+
+    # ------------------------------------------------------------------
+    # Flight recorder (repro.obs) — every method below is reached only
+    # when ``self.tracer.enabled``; none of them touches an RNG.
+    # ------------------------------------------------------------------
+    def _trace_backhaul(self, sim_end: float, record: RoundRecord) -> None:
+        """Per-region backhaul hop spans at the tail of the server
+        update window (regions transfer in parallel)."""
+        if record.backhaul_hop_s <= 0 or not self._last_region_hops:
+            self._last_region_hops = []
+            return
+        hop_start = sim_end - record.backhaul_hop_s
+        for region, hop_s, wire in self._last_region_hops:
+            self.tracer.span_sim(f"backhaul:{region}", "backhaul hop",
+                                 hop_start, hop_s, wire_bytes=wire)
+        self._last_region_hops = []
+
+    def _sample_meters(self, server_update: int) -> None:
+        """Publish component counters into the meter registry and let
+        the tracer flush a periodic metrics line."""
+        meters = self.tracer.meters
+        link = self.link
+        for name in ("bytes_sent", "bytes_received", "raw_bytes_sent",
+                     "raw_bytes_received", "uplink_wire_bytes",
+                     "uplink_raw_bytes", "downlink_wire_bytes",
+                     "downlink_raw_bytes", "messages_sent"):
+            meters.gauge(f"link/{name}").set(getattr(link, name))
+        ledger = getattr(self, "drop_ledger", None)
+        if ledger is not None:
+            meters.gauge("ledger/dropped_steps").set(ledger.total_dropped_steps)
+            meters.gauge("ledger/dropped_bytes").set(ledger.total_dropped_bytes)
+            meters.gauge("ledger/deadline_misses").set(
+                ledger.total_deadline_misses)
+            meters.gauge("ledger/salvaged_steps").set(
+                ledger.total_salvaged_steps)
+            meters.gauge("ledger/cancelled_cycles").set(
+                ledger.total_cancelled_cycles)
+        pool = self.clients
+        if hasattr(pool, "lease"):
+            meters.gauge("pool/materializations").set(pool.materializations)
+            meters.gauge("pool/evictions").set(pool.evictions)
+            meters.gauge("pool/hits").set(pool.hits)
+            meters.gauge("pool/live").set(pool.live_count())
+        if self.edge_tier is not None:
+            tier = self.edge_tier
+            meters.gauge("edge/backhaul_wire_bytes").set(
+                tier.backhaul.uplink_wire_bytes)
+            meters.gauge("edge/backhaul_raw_bytes").set(
+                tier.backhaul.uplink_raw_bytes)
+        ef = self.error_feedback
+        if ef is not None and self.link.uplink_codec is not None:
+            meters.histogram("ef/residual_norm").observe(
+                ef.total_residual_norm())
+        self.tracer.tick(server_update)
 
     # ------------------------------------------------------------------
     def _collect_update(self, client_id: str, message: Message,
@@ -519,7 +593,8 @@ class RoundEngine:
 
     def _get_procpool(self) -> ProcPool:
         if self._procpool is None:
-            self._procpool = ProcPool(self.clients, self.max_workers)
+            self._procpool = ProcPool(self.clients, self.max_workers,
+                                      tracer=self.tracer)
         return self._procpool
 
     def _shutdown_workers(self) -> None:
@@ -544,13 +619,16 @@ class RoundEngine:
         in task order — so meters, codec streams and EF residuals are
         byte-identical to the sequential plane.
         """
-        states = [self.link.recv_state(message)[0] for _, message, _ in tasks]
-        if self.local_plane == "batched":
-            updates = self._train_states_batched(tasks, states)
-        else:
-            updates = self._train_states_procpool(tasks, states)
-        return [self._finish_update(task[0], update)
-                for task, update in zip(tasks, updates)]
+        with self.tracer.host_span("engine", f"wave[{self.local_plane}]",
+                                   jobs=len(tasks)):
+            states = [self.link.recv_state(message)[0]
+                      for _, message, _ in tasks]
+            if self.local_plane == "batched":
+                updates = self._train_states_batched(tasks, states)
+            else:
+                updates = self._train_states_procpool(tasks, states)
+            return [self._finish_update(task[0], update)
+                    for task, update in zip(tasks, updates)]
 
     def _train_states_batched(self, tasks, states) -> list[ClientUpdate]:
         """Group shape/hyperparameter-homogeneous clients and train
@@ -652,7 +730,8 @@ class RoundEngine:
             raise ValueError("rounds must be >= 1")
         try:
             for t in range(start_round, start_round + rounds):
-                record = self.run_round(t, local_steps)
+                with self.tracer.host_span("engine", f"round {t}"):
+                    record = self.run_round(t, local_steps)
                 self._maybe_checkpoint()
                 if (target_perplexity is not None
                         and record.val_perplexity <= target_perplexity):
@@ -789,6 +868,8 @@ class SyncAggregator(RoundEngine):
                 if self.walltime is not None else None
             ),
         )
+        self.tracer.meters.counter("scheduler/cohorts").inc()
+        self.tracer.meters.counter("scheduler/selected").inc(len(selected))
 
         bytes_up_before = self.link.bytes_received
         bytes_down_before = self.link.bytes_sent
@@ -934,7 +1015,44 @@ class SyncAggregator(RoundEngine):
                                   + record.backhaul_hop_s)
             self.simulated_wall_time_s += record.wall_time_s
         self.history.append(record)
+        if self.tracer.enabled:
+            self._trace_round(record, selected, local_steps, retries)
+            self._sample_meters(len(self.history))
         return record
+
+    def _trace_round(self, record: RoundRecord, selected: list[str],
+                     local_steps: int, retries: int) -> None:
+        """Simulated-clock spans for one barrier round: the round span
+        on the server track, per-client cycle spans (with train/comm
+        children) per attempt, and the backhaul hops at the tail.
+        ``client_timing`` is deterministic, so re-deriving the
+        per-client split here consumes no RNG."""
+        sim_end = self.simulated_wall_time_s
+        start = sim_end - record.wall_time_s
+        self.tracer.span_sim(
+            "server", f"round {record.round_idx}", start, record.wall_time_s,
+            clients=len(record.clients), failed=len(record.failed_clients),
+            retries=retries)
+        if self.walltime is not None and record.wall_time_s > 0:
+            attempt_s = ((record.wall_time_s - record.backhaul_hop_s)
+                         / (1 + retries))
+            for attempt in range(1 + retries):
+                a0 = start + attempt * attempt_s
+                for cid in selected:
+                    timing = self.walltime.client_timing(cid, local_steps)
+                    dur = min(timing.total_s, attempt_s)
+                    track = f"client:{cid}"
+                    self.tracer.span_sim(
+                        track, "cycle", a0, dur, client=cid,
+                        steps=local_steps, compute_s=timing.compute_s,
+                        comm_s=timing.comm_s, base_s=timing.total_s,
+                        outcome=("failed" if cid in record.failed_clients
+                                 else "ok"))
+                    compute = min(timing.compute_s, dur)
+                    self.tracer.span_sim(track, "local train", a0, compute)
+                    self.tracer.span_sim(track, "uplink+broadcast",
+                                         a0 + compute, dur - compute)
+        self._trace_backhaul(sim_end, record)
 
 
 class AsyncAggregator(RoundEngine):
@@ -1059,6 +1177,12 @@ class AsyncAggregator(RoundEngine):
         self._raw_up_mark = 0
         self._raw_down_mark = 0
         self._started = False
+        # Flight-recorder bookkeeping (repro.obs), populated only when
+        # the tracer is enabled and never checkpointed: dispatch-time
+        # cycle info (start clock, base compute/comm split, queueing
+        # wait) and the clock at which each idle client last arrived.
+        self._trace_dispatch: dict[str, tuple] = {}
+        self._trace_idle_since: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Dispatch / completion machinery
@@ -1148,6 +1272,18 @@ class AsyncAggregator(RoundEngine):
         heapq.heappush(self._events, (self.clock_s + duration, self._seq, client_id))
         self._seq += 1
         self.scheduler.note_selected(client_id, self.version)
+        if self.tracer.enabled:
+            if self.walltime is not None:
+                timing = self.walltime.client_timing(client_id, steps)
+                compute, comm = timing.compute_s, timing.comm_s
+            else:
+                compute, comm = 1.0, 0.0
+            self._trace_dispatch[client_id] = (
+                self.clock_s, compute, comm,
+                self.clock_s - self._trace_idle_since.pop(client_id,
+                                                          self.clock_s),
+            )
+            self.tracer.meters.counter("scheduler/dispatches").inc()
 
     def _dispatch_batch(self, dispatch: list[str]) -> None:
         """Dispatch one wave with planned steps, base durations and
@@ -1331,10 +1467,14 @@ class AsyncAggregator(RoundEngine):
         self.drop_ledger.record_drop(
             entry.planned, entry.message.nbytes + Link.METADATA_OVERHEAD
         )
+        if self.tracer.enabled:
+            self._trace_cycle(client_id, entry, "timeout")
         if self.deadline.drop_policy == "requeue":
             self._requeue(client_id)
         else:
             self._idle.append(client_id)
+            if self.tracer.enabled:
+                self._trace_idle_since[client_id] = self.clock_s
 
     def _requeue(self, client_id: str) -> None:
         """Give the freed dispatch slot back through the selection
@@ -1489,13 +1629,61 @@ class AsyncAggregator(RoundEngine):
             record.wall_time_s = (self.clock_s - self._last_flush_clock
                                   + record.backhaul_hop_s)
             self.simulated_wall_time_s += record.wall_time_s
+        prev_flush_clock = self._last_flush_clock
         self._last_flush_clock = self.clock_s
         self._bytes_up_mark = self.link.bytes_received
         self._bytes_down_mark = self.link.bytes_sent
         self._raw_up_mark = self.link.raw_bytes_received
         self._raw_down_mark = self.link.raw_bytes_sent
         self.history.append(record)
+        if self.tracer.enabled:
+            self._trace_flush(record, prev_flush_clock)
         return record
+
+    def _trace_flush(self, record: RoundRecord,
+                     prev_flush_clock: float) -> None:
+        """Emit the server-update span (and its backhaul hops) for one
+        flush.  With a wall-time model the span sits in cumulative
+        simulated seconds; without one the raw event clock is used so
+        updates still tile the timeline."""
+        if self.walltime is not None:
+            end = self.simulated_wall_time_s
+            start = end - record.wall_time_s
+        else:
+            start, end = prev_flush_clock, self.clock_s
+        self.tracer.span_sim(
+            "server", f"update {record.round_idx}", start, end - start,
+            clients=len(record.clients),
+            dropped_steps=record.dropped_steps,
+            deadline_misses=record.deadline_misses,
+            retries=record.retries)
+        self._trace_backhaul(end, record)
+        self._sample_meters(self.version)
+
+    def _trace_cycle(self, client_id: str, entry: _InFlight,
+                     outcome: str) -> None:
+        """Emit one client pull→train→push cycle span at event-pop
+        time, with the dispatch-time base compute/comm split so the
+        analyzer can attribute the excess to jitter and the wait before
+        dispatch to queueing."""
+        info = self._trace_dispatch.pop(client_id, None)
+        if info is None:
+            return  # dispatched before the tracer attached (resume)
+        start, compute, comm, queue_s = info
+        dur = self.clock_s - start
+        track = f"client:{client_id}"
+        base = compute + comm
+        self.tracer.span_sim(
+            track, "cycle", start, dur, client=client_id,
+            steps=entry.steps, version=entry.version, outcome=outcome,
+            compute_s=compute, comm_s=comm, base_s=base, queue_s=queue_s)
+        if outcome in ("ok", "salvaged") and base > 0 and dur > 0:
+            # Realized split: scale the base decomposition to the
+            # actual duration (jitter stretches both phases).
+            realized = compute * (dur / base)
+            self.tracer.span_sim(track, "local train", start, realized)
+            self.tracer.span_sim(track, "uplink+broadcast",
+                                 start + realized, dur - realized)
 
     # ------------------------------------------------------------------
     def _consume_arrivals(self) -> RoundRecord | None:
@@ -1507,6 +1695,8 @@ class AsyncAggregator(RoundEngine):
         while self._arrivals and record is None:
             client_id, outcome = self._arrivals.popleft()
             self._idle.append(client_id)
+            if self.tracer.enabled:
+                self._trace_idle_since[client_id] = self.clock_s
             if isinstance(outcome, ClientFailure):
                 self._failed_pending.append(outcome.client_id)
                 continue
@@ -1577,7 +1767,9 @@ class AsyncAggregator(RoundEngine):
             doomed = self._draw_failures(completed)
             retried = set()
             for client_id in doomed:
-                self._inflight.pop(client_id)
+                entry = self._inflight.pop(client_id)
+                if self.tracer.enabled:
+                    self._trace_cycle(client_id, entry, "crash")
                 if self._retry_crash(client_id):
                     retried.add(client_id)
             survivors = [cid for cid in completed if cid not in doomed]
@@ -1588,6 +1780,10 @@ class AsyncAggregator(RoundEngine):
             # requeue a late request is timed out, never a survivor.
             for client_id in survivors:
                 entry = self._inflight[client_id]
+                if self.tracer.enabled:
+                    self._trace_cycle(
+                        client_id, entry,
+                        "salvaged" if entry.salvaged else "ok")
                 if entry.salvaged:
                     self.drop_ledger.record_salvage(
                         entry.steps, entry.planned - entry.steps

@@ -159,7 +159,8 @@ class FailoverController:
 
     def __init__(self, engine, failure_model: FailureModel | None = None,
                  replicas: int = 0, replicate_every: int = 1,
-                 link: Link | None = None, server_id: str = "root"):
+                 link: Link | None = None, server_id: str = "root",
+                 tracer=None):
         if replicate_every < 1:
             raise ValueError("replicate_every must be >= 1")
         self.engine = engine
@@ -172,6 +173,10 @@ class FailoverController:
         self.updates_lost: list[int] = []
         self.recovery_s: list[float] = []
         self._cold: tuple[int, bytes] | None = None
+        if tracer is None:
+            from ..obs.trace import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def _recover(self, completed: int) -> int:
@@ -179,15 +184,32 @@ class FailoverController:
         server updates; returns the version the run resumes from."""
         started = time.perf_counter()
         self.crashes += 1
-        promoted = self.replica_set.promote(self.failure_model, completed)
-        if promoted is None:
-            version, payload = self._cold
-            tree = deserialize_tree(payload)
-        else:
-            version, tree = promoted
-        self.engine.load_state_dict(tree)
+        if self.tracer.enabled:
+            self.tracer.instant_sim(
+                "server", "server crash",
+                getattr(self.engine, "simulated_wall_time_s", 0.0),
+                server=self.server_id, at_update=completed)
+        with self.tracer.host_span("failover", "recover",
+                                   at_update=completed):
+            promoted = self.replica_set.promote(self.failure_model, completed)
+            if promoted is None:
+                version, payload = self._cold
+                tree = deserialize_tree(payload)
+            else:
+                version, tree = promoted
+            self.engine.load_state_dict(tree)
         self.updates_lost.append(completed - version)
         self.recovery_s.append(time.perf_counter() - started)
+        if self.tracer.enabled:
+            meters = self.tracer.meters
+            meters.counter("failover/crashes").inc()
+            meters.counter("failover/updates_lost").inc(completed - version)
+            meters.histogram("failover/recovery_s").observe(
+                self.recovery_s[-1])
+            self.tracer.instant_sim(
+                "server", "promotion",
+                getattr(self.engine, "simulated_wall_time_s", 0.0),
+                resumed_from=version, promoted=promoted is not None)
         return version
 
     def run(self, rounds: int, local_steps: int,
@@ -204,7 +226,8 @@ class FailoverController:
         try:
             completed = base
             while completed < base + rounds:
-                engine.run_round(completed, local_steps)
+                with self.tracer.host_span("engine", f"round {completed}"):
+                    engine.run_round(completed, local_steps)
                 completed += 1
                 # The crash lands at the round boundary, before this
                 # update's snapshot ships — a replicated server at
@@ -217,7 +240,11 @@ class FailoverController:
                     continue
                 if ((completed - base) % self.replicate_every == 0
                         and self.replica_set.n_replicas > 0):
-                    self.replica_set.replicate(completed, engine.state_dict())
+                    with self.tracer.host_span("failover", "replicate",
+                                               version=completed):
+                        self.replica_set.replicate(completed,
+                                                   engine.state_dict())
+                    self.tracer.meters.counter("failover/replications").inc()
                 engine._maybe_checkpoint()
                 if (target_perplexity is not None and engine.history.records
                         and engine.history.records[-1].val_perplexity

@@ -31,6 +31,7 @@ from ..data.synthetic import (
 )
 from ..net.comm import federated_volume, reduction_factor
 from ..net.walltime import JitterModel, WallTimeModel
+from ..obs import NULL_TRACER, MetricsSink, Tracer
 from ..optim import LRSchedule, WarmupCosine
 from ..utils.metrics import History
 from .aggregator import Aggregator
@@ -269,6 +270,23 @@ class Photon:
         # Like the deadline pre-flight above, a resume pointed at an
         # empty directory fails here in milliseconds, before the
         # (much more expensive) data build.
+        # Flight recorder (repro.obs): built once and shared by the
+        # engine, procpool, checkpointer and failover controller.
+        # Without trace_path this is the no-op NULL_TRACER singleton —
+        # zero RNG draws, bit-exact histories.
+        self.tracer = NULL_TRACER
+        if fed_config.trace_path is not None:
+            from pathlib import Path
+
+            trace_path = Path(fed_config.trace_path)
+            sink = (
+                MetricsSink(trace_path.with_suffix(".metrics.jsonl"))
+                if fed_config.metrics_every else None
+            )
+            self.tracer = Tracer(trace_path,
+                                 metrics_every=fed_config.metrics_every or 0,
+                                 sink=sink)
+
         self.run_checkpointer = None
         self.resumed_from_round: int | None = None
         if fed_config.checkpoint_dir is not None:
@@ -276,6 +294,7 @@ class Photon:
                 fed_config.checkpoint_dir,
                 codec=fed_config.checkpoint_codec,
                 seed=fed_config.seed,
+                tracer=self.tracer,
             )
             if fed_config.resume and self.run_checkpointer.latest_step() is None:
                 raise FileNotFoundError(
@@ -424,6 +443,7 @@ class Photon:
             init_seed=init_seed,
             local_plane=fed_config.local_plane,
             edge_tier=edge_tier,
+            tracer=self.tracer,
         )
         self.aggregator: RoundEngine
         if fed_config.mode == "async":
@@ -453,6 +473,7 @@ class Photon:
                 failure_model=self.server_failure_model,
                 replicas=fed_config.replicas,
                 replicate_every=fed_config.replicate_every,
+                tracer=self.tracer,
             )
 
     # ------------------------------------------------------------------
@@ -577,27 +598,33 @@ class Photon:
         exactly the same round the uninterrupted run would have.
         """
         rounds = rounds if rounds is not None else self.fed_config.rounds
-        if self.resumed_from_round is not None:
-            completed = len(self.aggregator.history)
-            if rounds - completed < 1:
-                return self.aggregator.history
+        try:
+            if self.resumed_from_round is not None:
+                completed = len(self.aggregator.history)
+                if rounds - completed < 1:
+                    return self.aggregator.history
+                if self.failover is not None:
+                    return self.failover.run(
+                        rounds - completed, self.fed_config.local_steps,
+                        target_perplexity=target_perplexity,
+                    )
+                return self.aggregator.run(
+                    rounds - completed, self.fed_config.local_steps,
+                    target_perplexity=target_perplexity, start_round=completed,
+                )
             if self.failover is not None:
                 return self.failover.run(
-                    rounds - completed, self.fed_config.local_steps,
+                    rounds, self.fed_config.local_steps,
                     target_perplexity=target_perplexity,
                 )
             return self.aggregator.run(
-                rounds - completed, self.fed_config.local_steps,
-                target_perplexity=target_perplexity, start_round=completed,
-            )
-        if self.failover is not None:
-            return self.failover.run(
                 rounds, self.fed_config.local_steps,
                 target_perplexity=target_perplexity,
             )
-        return self.aggregator.run(
-            rounds, self.fed_config.local_steps, target_perplexity=target_perplexity
-        )
+        finally:
+            # Export the trace (and the metrics summary line) even on
+            # a crashed run — that is when a flight recorder matters.
+            self.tracer.finish()
 
     def result(self) -> PhotonResult:
         """Summarize the run so far."""

@@ -277,6 +277,7 @@ class LazyClientPool(Mapping):
         self._lock = threading.Lock()
         self.materializations = 0
         self.evictions = 0
+        self.hits = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -302,6 +303,7 @@ class LazyClientPool(Mapping):
         client = self._live.get(client_id)
         if client is not None:
             self._live.move_to_end(client_id)
+            self.hits += 1
             return client
         self.population.index_of(client_id)  # validate before building
         client = self._factory(client_id)

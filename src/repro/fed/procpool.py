@@ -138,12 +138,17 @@ class ProcPool:
     shutdown paths (run completion and ``state_dict()``).
     """
 
-    def __init__(self, clients: Mapping[str, Any], max_workers: int):
+    def __init__(self, clients: Mapping[str, Any], max_workers: int,
+                 tracer=None):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self._clients = clients
         self._max_workers = max_workers
         self._pool = None
+        if tracer is None:
+            from ..obs.trace import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
 
     def _ensure(self):
         if self._pool is None:
@@ -160,7 +165,21 @@ class ProcPool:
 
     def train(self, jobs: list[ProcJob]) -> list[tuple]:
         """Run jobs across the pool; results come back in job order."""
-        return self._ensure().map(_worker_train, jobs)
+        pool = self._ensure()
+        if not self.tracer.enabled:
+            return pool.map(_worker_train, jobs)
+        workers = min(self._max_workers, len(jobs))
+        with self.tracer.host_span("procpool", "wave", jobs=len(jobs),
+                                   workers=workers):
+            results = pool.map(_worker_train, jobs)
+        meters = self.tracer.meters
+        meters.counter("procpool/waves").inc()
+        meters.counter("procpool/jobs").inc(len(jobs))
+        # Mean jobs-per-worker this wave: >1 means the wave saturated
+        # the pool, <1 means idle workers (utilization headroom).
+        meters.histogram("procpool/jobs_per_worker").observe(
+            len(jobs) / workers)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

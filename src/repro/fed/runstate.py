@@ -239,10 +239,15 @@ class RunStateCheckpointer:
     """
 
     def __init__(self, directory: str | Path, codec: str = "none",
-                 keep: int = 3, seed: int = 0, prefix: str = "runstate"):
+                 keep: int = 3, seed: int = 0, prefix: str = "runstate",
+                 tracer=None):
         self.codec_spec = codec
         self.codec = make_codec(codec, seed=seed)
         self.manager = CheckpointManager(directory, keep=keep, prefix=prefix)
+        if tracer is None:
+            from ..obs.trace import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
 
     @property
     def directory(self) -> Path:
@@ -252,19 +257,30 @@ class RunStateCheckpointer:
     def save(self, engine, step: int) -> Path:
         """Snapshot ``engine`` as checkpoint ``step`` (server updates
         completed)."""
-        tree = dict(engine.state_dict())
-        if self.codec is not None and tree.get("server_opt"):
-            # Second moments ride through the codec in the sqrt domain
-            # (see _sqrt_wrap); float32 sqrt→square is not a bit-exact
-            # round trip, so the codec=None path never touches them.
-            tree["server_opt"] = _codec_wrap(
-                _sqrt_wrap(tree["server_opt"]), self.codec)
-        arrays, structure = pack_tree(tree)
-        return self.manager.save(step, arrays, metadata={
-            "runstate_version": RUNSTATE_VERSION,
-            "codec": self.codec_spec,
-            "tree": structure,
-        })
+        with self.tracer.host_span("checkpoint", f"save {step}", step=step):
+            tree = dict(engine.state_dict())
+            if self.codec is not None and tree.get("server_opt"):
+                # Second moments ride through the codec in the sqrt
+                # domain (see _sqrt_wrap); float32 sqrt→square is not a
+                # bit-exact round trip, so the codec=None path never
+                # touches them.
+                tree["server_opt"] = _codec_wrap(
+                    _sqrt_wrap(tree["server_opt"]), self.codec)
+            arrays, structure = pack_tree(tree)
+            path = self.manager.save(step, arrays, metadata={
+                "runstate_version": RUNSTATE_VERSION,
+                "codec": self.codec_spec,
+                "tree": structure,
+            })
+        if self.tracer.enabled:
+            meters = self.tracer.meters
+            meters.counter("checkpoint/saves").inc()
+            try:
+                meters.gauge("checkpoint/last_bytes").set(
+                    path.stat().st_size)
+            except OSError:
+                pass
+        return path
 
     # ------------------------------------------------------------------
     def load_tree(self, step: int | None = None) -> tuple[int, dict]:
@@ -287,8 +303,10 @@ class RunStateCheckpointer:
     def restore(self, engine, step: int | None = None) -> int:
         """Load a checkpoint into ``engine``; returns the number of
         server updates the restored run had completed."""
-        step, tree = self.load_tree(step)
-        engine.load_state_dict(tree)
+        with self.tracer.host_span("checkpoint", "restore"):
+            step, tree = self.load_tree(step)
+            engine.load_state_dict(tree)
+        self.tracer.meters.counter("checkpoint/restores").inc()
         return step
 
     def latest_step(self) -> int | None:

@@ -1,0 +1,268 @@
+"""Trace analyzer: critical path, stragglers, utilization.
+
+``python -m repro.obs.analyze TRACE.json`` reads a flight-recorder
+trace (Chrome trace-event JSON from :class:`repro.obs.trace.Tracer`)
+and computes, from the simulated-clock track:
+
+* **coverage** — the fraction of simulated wall time covered by at
+  least one span (the acceptance gate demands ≥95%);
+* **critical path** — a backward walk that at every instant charges
+  the most specific (latest-starting) span covering it, aggregated
+  per span name;
+* **straggler attribution** — the top-k slowest clients by summed
+  cycle time, each split into compute vs comm vs jitter vs queueing
+  vs backhaul seconds (the dominant component is the named cause);
+* **per-tier utilization** — busy fraction of each backhaul track;
+
+and, from the host-clock track, per-track busy time plus procpool
+worker utilization (jobs and busy fraction per wave).
+
+``--json`` dumps the full analysis as JSON for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["analyze", "load_events", "main"]
+
+from .trace import HOST_PID, SIM_PID
+
+_EPS = 1e-9
+
+
+def load_events(path: str | Path) -> list[dict]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome trace-event file")
+    return events
+
+
+def _tracks(events: list[dict]) -> dict[tuple[int, int], str]:
+    """(pid, tid) → human track name from the metadata records."""
+    names: dict[tuple[int, int], str] = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            names[(e["pid"], e["tid"])] = e["args"]["name"]
+    return names
+
+
+def _spans(events: list[dict], pid: int,
+           tracks: dict[tuple[int, int], str]) -> list[dict]:
+    """Complete spans on one clock, in seconds, with track names."""
+    out = []
+    for e in events:
+        if e.get("ph") != "X" or e.get("pid") != pid:
+            continue
+        start = e["ts"] / 1e6
+        dur = e.get("dur", 0.0) / 1e6
+        out.append({
+            "name": e["name"],
+            "track": tracks.get((e["pid"], e["tid"]), f"tid:{e['tid']}"),
+            "start": start,
+            "dur": dur,
+            "end": start + dur,
+            "args": e.get("args", {}),
+        })
+    return out
+
+
+def _merged_intervals(spans: list[dict]) -> list[tuple[float, float]]:
+    intervals = sorted((s["start"], s["end"]) for s in spans)
+    merged: list[tuple[float, float]] = []
+    for lo, hi in intervals:
+        if merged and lo <= merged[-1][1] + _EPS:
+            if hi > merged[-1][1]:
+                merged[-1] = (merged[-1][0], hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _coverage(spans: list[dict], total: float) -> float:
+    if total <= 0:
+        return 1.0
+    covered = sum(hi - lo for lo, hi in _merged_intervals(spans))
+    return min(1.0, covered / total)
+
+
+def _critical_path(spans: list[dict], total: float) -> list[dict]:
+    """Backward walk: charge each instant to the latest-starting span
+    covering it (the most specific one), yielding contiguous segments
+    back to t = 0.  Gaps become explicit ``(idle)`` segments."""
+    segments: list[dict] = []
+    t = total
+    spans = sorted(spans, key=lambda s: s["start"])
+    guard = 0
+    while t > _EPS and guard < 100_000:
+        guard += 1
+        covering = [s for s in spans
+                    if s["start"] < t - _EPS and s["end"] >= t - _EPS]
+        if covering:
+            chosen = max(covering, key=lambda s: s["start"])
+            lo = chosen["start"]
+            segments.append({"name": chosen["name"],
+                             "track": chosen["track"],
+                             "start_s": lo, "dur_s": t - lo})
+            t = lo
+        else:
+            prev_end = max((s["end"] for s in spans if s["end"] < t - _EPS),
+                           default=0.0)
+            segments.append({"name": "(idle)", "track": "",
+                             "start_s": prev_end, "dur_s": t - prev_end})
+            t = prev_end
+    segments.reverse()
+    return segments
+
+
+_CAUSES = ("compute", "comm", "jitter", "queueing", "backhaul")
+
+
+def _stragglers(spans: list[dict], top: int) -> list[dict]:
+    per: dict[str, dict] = {}
+    for s in spans:
+        client = s["args"].get("client")
+        if client is None:
+            continue
+        row = per.setdefault(str(client), {
+            "client": str(client), "cycles": 0, "total_s": 0.0,
+            "compute_s": 0.0, "comm_s": 0.0, "jitter_s": 0.0,
+            "queueing_s": 0.0, "backhaul_s": 0.0, "timeouts": 0,
+        })
+        args = s["args"]
+        row["cycles"] += 1
+        row["total_s"] += s["dur"]
+        row["compute_s"] += float(args.get("compute_s", 0.0))
+        row["comm_s"] += float(args.get("comm_s", 0.0))
+        base = float(args.get("base_s", s["dur"]))
+        row["jitter_s"] += max(0.0, s["dur"] - base)
+        row["queueing_s"] += float(args.get("queue_s", 0.0))
+        row["backhaul_s"] += float(args.get("backhaul_s", 0.0))
+        row["timeouts"] += 1 if args.get("outcome") == "timeout" else 0
+    rows = sorted(per.values(), key=lambda r: -r["total_s"])[:top]
+    for row in rows:
+        row["cause"] = max(_CAUSES, key=lambda c: row[f"{c}_s"])
+    return rows
+
+
+def _tier_utilization(spans: list[dict], total: float) -> dict[str, dict]:
+    tiers: dict[str, dict] = {}
+    for s in spans:
+        if not s["track"].startswith("backhaul:"):
+            continue
+        region = s["track"].split(":", 1)[1]
+        row = tiers.setdefault(region, {"hops": 0, "busy_s": 0.0,
+                                        "wire_bytes": 0})
+        row["hops"] += 1
+        row["busy_s"] += s["dur"]
+        row["wire_bytes"] += int(s["args"].get("wire_bytes", 0))
+    for row in tiers.values():
+        row["busy_frac"] = row["busy_s"] / total if total > 0 else 0.0
+    return tiers
+
+
+def _host_summary(spans: list[dict]) -> dict:
+    tracks: dict[str, float] = {}
+    waves = {"waves": 0, "jobs": 0, "busy_s": 0.0, "wall_s": 0.0}
+    for s in spans:
+        tracks[s["track"]] = tracks.get(s["track"], 0.0) + s["dur"]
+        if s["track"] == "procpool":
+            workers = int(s["args"].get("workers", 1)) or 1
+            waves["waves"] += 1
+            waves["jobs"] += int(s["args"].get("jobs", 0))
+            waves["wall_s"] += s["dur"]
+            waves["busy_s"] += s["dur"] * workers
+    out: dict = {"busy_s_by_track": {k: tracks[k] for k in sorted(tracks)}}
+    if waves["waves"]:
+        out["procpool"] = waves
+    return out
+
+
+def analyze(events: list[dict], top: int = 5) -> dict:
+    tracks = _tracks(events)
+    sim = _spans(events, SIM_PID, tracks)
+    host = _spans(events, HOST_PID, tracks)
+    total = max((s["end"] for s in sim), default=0.0)
+    segments = _critical_path(sim, total)
+    by_name: dict[str, float] = {}
+    for seg in segments:
+        by_name[seg["name"]] = by_name.get(seg["name"], 0.0) + seg["dur_s"]
+    return {
+        "total_sim_s": total,
+        "coverage": _coverage(sim, total),
+        "sim_spans": len(sim),
+        "host_spans": len(host),
+        "critical_path": segments,
+        "critical_path_by_name": {
+            k: by_name[k] for k in sorted(by_name, key=lambda n: -by_name[n])
+        },
+        "stragglers": _stragglers(sim, top),
+        "tiers": _tier_utilization(sim, total),
+        "host": _host_summary(host),
+    }
+
+
+def _print_report(report: dict, path: str) -> None:
+    print(f"== trace analysis: {path} ==")
+    print(f"simulated wall time : {report['total_sim_s']:.3f} s "
+          f"({report['sim_spans']} sim spans, "
+          f"{report['host_spans']} host spans)")
+    print(f"span coverage       : {report['coverage']:.1%}")
+    print("\ncritical path (by span name):")
+    for name, s in report["critical_path_by_name"].items():
+        frac = s / report["total_sim_s"] if report["total_sim_s"] else 0.0
+        print(f"  {name:<28} {s:>10.3f} s  {frac:>6.1%}")
+    if report["stragglers"]:
+        print("\nstragglers (slowest clients):")
+        for row in report["stragglers"]:
+            print(f"  {row['client']:<12} {row['total_s']:>8.3f} s over "
+                  f"{row['cycles']} cycle(s)  cause={row['cause']}  "
+                  f"(compute {row['compute_s']:.3f}, comm {row['comm_s']:.3f}, "
+                  f"jitter {row['jitter_s']:.3f}, queue {row['queueing_s']:.3f})")
+    if report["tiers"]:
+        print("\nbackhaul utilization per region:")
+        for region, row in sorted(report["tiers"].items()):
+            print(f"  {region:<12} {row['hops']} hop(s), busy "
+                  f"{row['busy_s']:.4f} s ({row['busy_frac']:.2%}), "
+                  f"{row['wire_bytes']:,} wire bytes")
+    host = report["host"]
+    if host["busy_s_by_track"]:
+        print("\nhost busy time per track:")
+        for track, s in host["busy_s_by_track"].items():
+            print(f"  {track:<16} {s:>10.4f} s")
+    if "procpool" in host:
+        pp = host["procpool"]
+        print(f"\nprocpool: {pp['waves']} wave(s), {pp['jobs']} job(s), "
+              f"{pp['wall_s']:.4f} s wall")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.analyze",
+        description="critical path, stragglers and utilization from a "
+                    "flight-recorder trace")
+    parser.add_argument("trace", type=Path, help="Chrome trace-event JSON")
+    parser.add_argument("--top", type=int, default=5,
+                        help="straggler rows to report (default 5)")
+    parser.add_argument("--json", action="store_true",
+                        help="dump the full analysis as JSON")
+    args = parser.parse_args(argv)
+    if not args.trace.is_file():
+        print(f"analyze: {args.trace} does not exist", file=sys.stderr)
+        return 1
+    report = analyze(load_events(args.trace), top=args.top)
+    if args.json:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    else:
+        _print_report(report, str(args.trace))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

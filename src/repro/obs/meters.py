@@ -1,0 +1,180 @@
+"""Dependency-free meters: counters, gauges, histograms, a registry.
+
+Every runtime component publishes here — Link byte counters,
+ErrorFeedback residual norms, the DropLedger, scheduler decisions,
+``LazyClientPool`` hits/evictions/live-count, procpool worker
+utilization, checkpoint IO.  The registry is a flat ``name → meter``
+map with get-or-create accessors so call sites never need existence
+checks, and :meth:`MeterRegistry.snapshot` renders everything to plain
+JSON-able scalars for the sink and the end-of-run report.
+
+The disabled path is :data:`NULL_METERS`: the same accessor surface
+returning shared no-op meter singletons, so instrumented code can call
+``meters.counter("x").inc()`` unconditionally at zero allocation cost.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MeterRegistry",
+    "NULL_METERS",
+    "NullMeterRegistry",
+]
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, decisions)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        self.value += n
+
+    def render(self):
+        return self.value
+
+
+class Gauge:
+    """Last-observed value (live-count, cumulative ledger totals)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def render(self):
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of observations: count/sum/min/max/mean.
+
+    No buckets and no reservoir — the trace carries the full-fidelity
+    per-event record; the histogram exists so the periodic metrics
+    lines and the end-of-run summary stay O(1) per meter.
+    """
+
+    __slots__ = ("count", "total", "vmin", "vmax")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    def render(self):
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.total / self.count,
+        }
+
+
+class MeterRegistry:
+    """Flat get-or-create registry of named meters.
+
+    Names are ``component/measure`` by convention (``link/uplink_wire_bytes``,
+    ``pool/hits``, ``checkpoint/save_s``); the README's meter catalog
+    documents every name the runtime publishes.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._meters: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls):
+        meter = self._meters.get(name)
+        if meter is None:
+            meter = self._meters[name] = cls()
+        elif type(meter) is not cls:
+            raise TypeError(
+                f"meter {name!r} already registered as "
+                f"{type(meter).__name__}, requested {cls.__name__}"
+            )
+        return meter
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """All meters rendered to JSON-able scalars, sorted by name."""
+        return {name: self._meters[name].render()
+                for name in sorted(self._meters)}
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullMeterRegistry(MeterRegistry):
+    """No-op registry: shared inert meters, nothing recorded."""
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+#: Shared disabled registry (what :data:`repro.obs.NULL_TRACER` carries).
+NULL_METERS = NullMeterRegistry()

@@ -40,6 +40,11 @@ def history_to_dict(history: History, metadata: dict | None = None) -> dict:
             "dropped_bytes": record.dropped_bytes,
             "deadline_misses": record.deadline_misses,
             "salvaged_steps": record.salvaged_steps,
+            "backhaul_wire_bytes": record.backhaul_wire_bytes,
+            "backhaul_raw_bytes": record.backhaul_raw_bytes,
+            "backhaul_hop_s": _num(record.backhaul_hop_s),
+            "edge_crashes": record.edge_crashes,
+            "edge_updates_lost": record.edge_updates_lost,
         })
     ppls = [r["val_perplexity"] for r in rounds
             if r["val_perplexity"] is not None]
@@ -58,6 +63,13 @@ def history_to_dict(history: History, metadata: dict | None = None) -> dict:
         "total_dropped_bytes": sum(r["dropped_bytes"] for r in rounds),
         "total_deadline_misses": sum(r["deadline_misses"] for r in rounds),
         "total_salvaged_steps": sum(r["salvaged_steps"] for r in rounds),
+        "total_backhaul_wire_bytes": sum(
+            r["backhaul_wire_bytes"] for r in rounds),
+        "total_backhaul_raw_bytes": sum(
+            r["backhaul_raw_bytes"] for r in rounds),
+        "total_edge_crashes": sum(r["edge_crashes"] for r in rounds),
+        "total_edge_updates_lost": sum(
+            r["edge_updates_lost"] for r in rounds),
     }
     return {"metadata": metadata or {}, "summary": summary, "rounds": rounds}
 
@@ -79,6 +91,10 @@ def format_markdown(history: History, title: str = "Run report",
         for r in history
     )
     with_wire = any(r.raw_bytes_up + r.raw_bytes_down > 0 for r in history)
+    with_backhaul = any(
+        r.backhaul_wire_bytes or r.edge_crashes or r.edge_updates_lost
+        for r in history
+    )
     header = "| round | val PPL | train loss | clients | failed | comm (KB) |"
     rule = "|---|---|---|---|---|---|"
     if with_wire:
@@ -87,6 +103,9 @@ def format_markdown(history: History, title: str = "Run report",
     if with_ledger:
         header = header + " dropped | salvaged | late |"
         rule = rule + "---|---|---|"
+    if with_backhaul:
+        header = header + " backhaul (KB) | edge crashes |"
+        rule = rule + "---|---|"
     lines = [f"# {title}", "", header, rule]
     for record in history:
         comm_kb = (record.comm_bytes_up + record.comm_bytes_down) / 1024
@@ -101,6 +120,9 @@ def format_markdown(history: History, title: str = "Run report",
         if with_ledger:
             row += (f" {record.dropped_steps} | {record.salvaged_steps} | "
                     f"{record.deadline_misses} |")
+        if with_backhaul:
+            row += (f" {record.backhaul_wire_bytes / 1024:.0f} | "
+                    f"{record.edge_crashes} |")
         lines.append(row)
     if len(history):
         lines += ["", "Best validation perplexity: "
@@ -122,6 +144,18 @@ def format_markdown(history: History, title: str = "Run report",
                 f"salvaged, {sum(r.deadline_misses for r in history)} late "
                 f"admits, {sum(r.dropped_bytes for r in history):,} bytes "
                 "wasted."
+            ]
+        if with_backhaul:
+            back_wire = sum(r.backhaul_wire_bytes for r in history)
+            back_raw = sum(r.backhaul_raw_bytes for r in history)
+            back_ratio = back_raw / back_wire if back_wire and back_raw else 1.0
+            lines += [
+                "",
+                f"Backhaul: {back_wire:,} wire bytes for {back_raw:,} raw "
+                f"({back_ratio:.1f}x); "
+                f"{sum(r.edge_crashes for r in history)} edge crash(es), "
+                f"{sum(r.edge_updates_lost for r in history)} client "
+                "update(s) lost."
             ]
     if metadata:
         lines += ["", "Run metadata: " + ", ".join(
