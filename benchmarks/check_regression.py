@@ -25,8 +25,14 @@ from pathlib import Path
 
 
 def compare(artifact: dict, baseline: dict, metric: str,
-            threshold: float) -> tuple[list[str], list[str]]:
-    """Return ``(failures, report_lines)`` for the two result sets."""
+            threshold: float,
+            higher_is_better: bool = False) -> tuple[list[str], list[str]]:
+    """Return ``(failures, report_lines)`` for the two result sets.
+
+    With ``higher_is_better`` the gate flips: a *drop* beyond the
+    threshold fails (throughput metrics), a rise is the stale-baseline
+    note.
+    """
     failures: list[str] = []
     lines: list[str] = []
     base_results = baseline.get("results", {})
@@ -77,14 +83,15 @@ def compare(artifact: dict, baseline: dict, metric: str,
             )
             continue
         delta = (new_v - old_v) / old_v if old_v else 0.0
+        regression = -delta if higher_is_better else delta
         marker = ""
-        if delta > threshold:
+        if regression > threshold:
             marker = "  << REGRESSION"
             failures.append(
                 f"arm {name!r}: {metric} regressed {delta:+.1%} "
                 f"({old_v:.3g} -> {new_v:.3g}, threshold {threshold:.0%})"
             )
-        elif delta < -threshold:
+        elif regression < -threshold:
             # A big improvement is good news but stale-baseline news:
             # surface it without failing.
             marker = "  (improved - consider refreshing the baseline)"
@@ -104,6 +111,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed relative regression (default 0.15)")
     parser.add_argument("--metric", default="wall_s",
                         help="per-arm metric to compare (default wall_s)")
+    parser.add_argument("--higher-is-better", action="store_true",
+                        help="gate on the metric dropping instead of "
+                             "rising (throughput-style metrics)")
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
@@ -114,9 +124,11 @@ def main(argv: list[str] | None = None) -> int:
     artifact = json.loads(args.artifact.read_text())
     baseline = json.loads(args.baseline.read_text())
 
-    failures, lines = compare(artifact, baseline, args.metric, args.threshold)
+    failures, lines = compare(artifact, baseline, args.metric, args.threshold,
+                              higher_is_better=args.higher_is_better)
+    direction = "min" if args.higher_is_better else "max"
     print(f"== {args.artifact.name}: {args.metric} vs {args.baseline} "
-          f"(threshold {args.threshold:.0%}) ==")
+          f"(threshold {args.threshold:.0%}, {direction} gate) ==")
     for line in lines:
         print(line)
     if failures:

@@ -1,0 +1,129 @@
+"""Multi-tenant serving of the federated model with per-user adapters.
+
+The end of the Photon pipeline, end to end:
+
+1. pre-train a global model federatedly;
+2. personalize it for several users with LoRA — each user keeps only a
+   tiny adapter payload;
+3. serve all users **concurrently** from one engine: one base forward
+   per step, each request's adapter applied in factored form — and
+   verify the batched output matches per-user merge-and-decode exactly;
+4. replay Zipf-distributed traffic through the bounded adapter cache
+   and report latency/throughput/cache metrics;
+5. show version safety: after the base model advances, yesterday's
+   adapter is refused instead of silently served.
+
+Run:
+    python examples/multi_tenant_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import FedConfig, ModelConfig, OptimConfig
+from repro.data import CachedTokenStream, SyntheticPile
+from repro.fed import Photon, personalize
+from repro.nn import DecoderLM, InferenceEngine, apply_lora, merge_lora
+from repro.nn.lora import load_lora_state_dict
+from repro.serve import (
+    Adapter,
+    AdapterCache,
+    MultiAdapterEngine,
+    RequestReplayer,
+    StaleAdapterError,
+    SyntheticTrace,
+)
+from repro.utils import state_bytes
+
+MODEL = ModelConfig("serve-demo", n_blocks=2, d_model=32, n_heads=2,
+                    vocab_size=32, seq_len=32)
+OPTIM = OptimConfig(max_lr=4e-3, warmup_steps=4, schedule_steps=512,
+                    batch_size=4, weight_decay=0.0)
+FED = FedConfig(population=4, clients_per_round=4, local_steps=12, rounds=2)
+RANK = 2
+USERS = ["gutenberg", "arxiv", "wikipedia"]
+
+
+def main() -> None:
+    # 1. Pre-train the global model.
+    photon = Photon(MODEL, FED, OPTIM, data_seed=3)
+    history = photon.train()
+    checkpoint = photon.aggregator.global_state
+    base_version = len(history)
+    print(f"pre-training : PPL {history.val_perplexities[0]:.2f} -> "
+          f"{history.val_perplexities[-1]:.2f} "
+          f"(checkpoint version {base_version})")
+
+    # 2. Personalize per user: each gets a LoRA adapter over the SAME base.
+    pile = SyntheticPile(vocab=MODEL.vocab_size, seed=3, heterogeneity=0.6)
+    adapters: dict[str, Adapter] = {}
+    for i, source in enumerate(USERS):
+        private = CachedTokenStream(pile.sources[source], batch_size=4,
+                                    seq_len=MODEL.seq_len, seed=17 + i)
+        result = personalize(checkpoint, MODEL, private, steps=15,
+                             optim=OPTIM, lora_rank=RANK, client_id=source)
+        adapters[source] = Adapter.from_state_dict(
+            source, result.adapter_state, base_version)
+        print(f"personalize  : {source:<10} PPL {result.ppl_before:.2f} -> "
+              f"{result.ppl_after:.2f} "
+              f"({state_bytes(result.adapter_state):,} B adapter)")
+
+    # 3. Serve all users concurrently — one engine, one base snapshot.
+    base = DecoderLM(MODEL, seed=0)
+    base.load_state_dict(checkpoint)
+    engine = MultiAdapterEngine(base, base_version=base_version,
+                                max_streams=len(USERS))
+    rng = np.random.default_rng(7)
+    prompts = {u: rng.integers(0, MODEL.vocab_size, size=5) for u in USERS}
+    batched = engine.generate_batch(
+        {u: (adapters[u], prompts[u]) for u in USERS}, max_new_tokens=16)
+
+    # The guarantee: batched factored serving == per-user merge-and-decode.
+    for user in USERS:
+        merged = DecoderLM(MODEL, seed=0)
+        merged.load_state_dict(checkpoint)
+        apply_lora(merged, rank=RANK)
+        load_lora_state_dict(merged, {
+            f"lora{i}.{name}.{part}": arr
+            for i, pair in enumerate(adapters[user].pairs)
+            for name in [("qkv", "proj", "up", "down")[i % 4]]
+            for part, arr in zip("ab", pair)
+        })
+        merge_lora(merged)
+        reference = InferenceEngine(merged).generate(
+            prompts[user], max_new_tokens=16, temperature=0.0)
+        assert np.array_equal(batched[user], reference)
+    print(f"serving      : {len(USERS)} tenants decoded concurrently; "
+          f"batched output == per-user merge-and-decode")
+
+    # 4. Replay Zipf traffic through the bounded adapter cache.
+    trace = SyntheticTrace(24, len(USERS), zipf_s=1.2,
+                           vocab_size=MODEL.vocab_size, seed=0)
+    by_index = dict(enumerate(USERS))
+
+    def adapter_source(user_id: int) -> Adapter:
+        a = adapters[by_index[user_id]]
+        return Adapter(f"user{user_id}", a.base_version, a.alpha, a.pairs)
+
+    replayer = RequestReplayer(
+        MultiAdapterEngine(base, base_version=base_version, max_streams=4),
+        AdapterCache(capacity=2), adapter_source, batch_size=4)
+    result = replayer.run(trace)
+    print(f"replay       : {result.requests} requests, "
+          f"{result.tokens_out} tokens at {result.tokens_per_s:,.0f} tok/s; "
+          f"p50 {result.p50_ms:.1f} ms, p99 {result.p99_ms:.1f} ms; "
+          f"cache hit rate {100 * result.cache_hit_rate:.0f}% "
+          f"({result.cache_evictions} evictions)")
+
+    # 5. The base advances -> the old adapter is refused, not mis-served.
+    newer = MultiAdapterEngine(base, base_version=base_version + 1,
+                               max_streams=2)
+    try:
+        newer.open("r0", adapters["gutenberg"])
+    except StaleAdapterError as exc:
+        print(f"version pin  : {exc}")
+
+
+if __name__ == "__main__":
+    main()

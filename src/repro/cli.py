@@ -4,6 +4,7 @@ Commands
 --------
 ``train``     run a federated (Photon) pre-training job
 ``diloco``    run the DiLoCo baseline on the same plumbing
+``serve``     replay multi-tenant LoRA traffic over the global model
 ``walltime``  evaluate the Appendix B.1 wall-time model
 ``topology``  analyze the Figure 2 federation topology
 ``info``      print the paper presets (Tables 1/4/5/6)
@@ -191,6 +192,48 @@ def build_parser() -> argparse.ArgumentParser:
     diloco.add_argument("--batch-size", type=int, default=4)
     diloco.add_argument("--max-lr", type=float, default=4e-3)
     diloco.add_argument("--server-lr", type=float, default=0.1)
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay multi-tenant LoRA traffic over the global model")
+    serve.add_argument("--model", default="tiny",
+                       help="model preset name (see `repro info`)")
+    serve.add_argument("--from-checkpoint", default=None, metavar="DIR",
+                       help="serve the global weights from the latest "
+                            "RunState checkpoint under DIR (the checkpoint "
+                            "step becomes the adapter base version)")
+    serve.add_argument("--requests", type=int, default=64,
+                       help="synthetic trace length")
+    serve.add_argument("--users", type=int, default=16,
+                       help="tenant population (Zipf-distributed traffic)")
+    serve.add_argument("--zipf", type=float, default=1.1,
+                       help="Zipf exponent of the user popularity curve")
+    serve.add_argument("--prompt-len", type=int, nargs=2, default=(4, 12),
+                       metavar=("LO", "HI"),
+                       help="inclusive prompt-length range")
+    serve.add_argument("--gen-len", type=int, nargs=2, default=(8, 24),
+                       metavar=("LO", "HI"),
+                       help="inclusive generation-budget range")
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="concurrent streams per wave")
+    serve.add_argument("--cache-capacity", type=int, default=8,
+                       help="adapters resident in the LRU cache")
+    serve.add_argument("--rank", type=int, default=4,
+                       help="LoRA rank of the synthetic tenant adapters")
+    serve.add_argument("--adapter-scale", type=float, default=0.05,
+                       help="stddev of the synthetic adapter factors")
+    serve.add_argument("--temperature", type=float, default=0.0,
+                       help="sampling temperature (0 = greedy)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the replay metrics as JSON to PATH")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="flight recorder: write a Chrome trace-event "
+                            "JSON of the replay to PATH")
+    serve.add_argument("--metrics-every", type=int, default=None,
+                       metavar="N",
+                       help="flush a meter snapshot every N waves to "
+                            "<trace>.metrics.jsonl (needs --trace)")
 
     walltime = sub.add_parser("walltime", help="evaluate the wall-time model")
     walltime.add_argument("--model", default="125M")
@@ -383,6 +426,96 @@ def _cmd_diloco(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from .nn import DecoderLM, apply_lora, lora_state_dict
+    from .obs import NULL_TRACER, MetricsSink, Tracer
+    from .serve import (
+        AdapterCache,
+        MultiAdapterEngine,
+        RequestReplayer,
+        SyntheticTrace,
+        synthetic_adapter,
+    )
+
+    cfg = model_config(args.model)
+    model = DecoderLM(cfg, seed=args.seed)
+    base_version = 0
+    if args.from_checkpoint is not None:
+        from .fed.runstate import RunStateCheckpointer
+
+        step, tree = RunStateCheckpointer(args.from_checkpoint).load_tree()
+        model.load_state_dict(tree["global_state"])
+        base_version = step
+        print(f"base model      : {args.model} from "
+              f"{args.from_checkpoint} (checkpoint step {step})")
+    else:
+        print(f"base model      : {args.model} (fresh init, seed {args.seed})")
+
+    tracer = NULL_TRACER
+    if args.trace is not None:
+        trace_path = Path(args.trace)
+        sink = (MetricsSink(trace_path.with_suffix(".metrics.jsonl"))
+                if args.metrics_every else None)
+        tracer = Tracer(trace_path, metrics_every=args.metrics_every or 0,
+                        sink=sink)
+
+    # Synthetic per-tenant adapters: the key set and shapes come from a
+    # throwaway LoRA-wrapped copy; the factors are seeded per user.
+    probe = DecoderLM(cfg, seed=args.seed)
+    apply_lora(probe, rank=args.rank)
+    template = lora_state_dict(probe)
+
+    def adapter_source(user_id: int):
+        return synthetic_adapter(template, user_id, base_version,
+                                 scale=args.adapter_scale, seed=args.seed)
+
+    engine = MultiAdapterEngine(model, base_version=base_version,
+                                max_streams=args.batch_size, tracer=tracer)
+    cache = AdapterCache(args.cache_capacity, meters=tracer.meters)
+    replayer = RequestReplayer(engine, cache, adapter_source,
+                               batch_size=args.batch_size,
+                               temperature=args.temperature,
+                               seed=args.seed, tracer=tracer)
+    trace = SyntheticTrace(args.requests, args.users, zipf_s=args.zipf,
+                           prompt_len=tuple(args.prompt_len),
+                           gen_len=tuple(args.gen_len),
+                           vocab_size=cfg.vocab_size, seed=args.seed)
+    result = replayer.run(trace)
+
+    print(f"traffic         : {result.requests} requests, "
+          f"{trace.unique_users}/{args.users} users hit "
+          f"(zipf s={args.zipf:g}), {result.waves} waves of "
+          f"{args.batch_size}")
+    print(f"generated       : {result.tokens_out:,} tokens in "
+          f"{result.wall_s:.2f} s ({result.tokens_per_s:,.0f} tok/s)")
+    print(f"latency         : p50 {result.p50_ms:.1f} ms, "
+          f"p99 {result.p99_ms:.1f} ms")
+    print(f"adapter cache   : {result.cache_hits} hits / "
+          f"{result.cache_misses} misses "
+          f"({100 * result.cache_hit_rate:.0f}%), "
+          f"{result.cache_evictions} evictions, "
+          f"{result.cache_stale_drops} stale drops; "
+          f"{result.adapters_resident}/{args.cache_capacity} resident "
+          f"({result.adapter_bytes / 2**20:.2f} MiB)")
+    if args.json is not None:
+        import json
+
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(result.as_dict(), indent=2) + "\n")
+        print(f"metrics json    : {out}")
+    if tracer.enabled:
+        tracer.finish()
+        summary = tracer.summary()
+        print(f"trace           : {args.trace} "
+              f"({summary.get('host_spans', 0)} host spans"
+              + (f"; meters -> {tracer.sink.path}"
+                 if tracer.sink is not None else "") + ")")
+    return 0
+
+
 def _cmd_walltime(args) -> int:
     from .net import WallTimeModel, gbps_to_mbps
 
@@ -437,6 +570,7 @@ def _cmd_info(_args) -> int:
 _COMMANDS = {
     "train": _cmd_train,
     "diloco": _cmd_diloco,
+    "serve": _cmd_serve,
     "walltime": _cmd_walltime,
     "topology": _cmd_topology,
     "info": _cmd_info,

@@ -63,12 +63,26 @@ def personalize(global_state: StateDict, model_config: ModelConfig,
     low-rank adapters train — the cross-device recipe of Section 6,
     whose per-client storage is the adapter state returned in the
     result.
+
+    ``ppl_before`` and ``ppl_after`` are measured on **identical
+    batches**: the eval stream's position is snapshotted before the
+    first evaluation and restored before the second, so the reported
+    ``improvement`` isolates the weight change.  (Without this, the
+    default ``eval_stream = stream`` compared disjoint batches —
+    training advanced the shared iterator between the two readings.)
     """
     if steps < 1:
         raise ValueError("steps must be >= 1")
     optim = optim or OptimConfig(max_lr=1e-3, weight_decay=0.0)
     schedule = schedule or ConstantLR(optim.max_lr)
     eval_stream = eval_stream or stream
+    if not hasattr(eval_stream, "state_dict"):
+        raise TypeError(
+            "eval stream must support the checkpoint protocol "
+            "(state_dict/load_state_dict) so before/after perplexity "
+            "is measured on the same batches"
+        )
+    eval_position = eval_stream.state_dict()
 
     model = DecoderLM(model_config, seed=seed)
     model.load_state_dict(global_state)
@@ -91,6 +105,7 @@ def personalize(global_state: StateDict, model_config: ModelConfig,
         clip_grad_norm(trainable, optim.grad_clip)
         optimizer.step()
 
+    eval_stream.load_state_dict(eval_position)
     ppl_after = evaluate_perplexity(model, eval_stream, n_batches=4)
     return PersonalizationResult(
         client_id=client_id,

@@ -10,6 +10,15 @@ The implementation is deliberately independent of the autograd graph;
 ``tests/test_inference.py`` asserts bit-level agreement (to float32
 tolerance) with ``DecoderLM.forward`` on every architecture in the
 tiny family.
+
+Snapshot semantics: construction **copies** every weight array, so a
+model that keeps training (continual or personalization rounds) never
+mutates a live engine mid-generation — the engine serves exactly the
+weights it was built from.  LoRA-wrapped models are supported
+directly: adapters are folded through
+:meth:`~repro.nn.lora.LoRALinear.merged_weight` at snapshot time, so
+the engine decodes the adapted model without mutating it (unlike
+:func:`~repro.nn.lora.merge_lora`, which rewrites the model in place).
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ import math
 import numpy as np
 
 from .attention import alibi_slopes
+from .lora import LoRALinear
 from .transformer import DecoderLM
 
 __all__ = ["InferenceEngine"]
@@ -42,22 +52,59 @@ def _softmax(x: np.ndarray) -> np.ndarray:
     return e / e.sum(axis=-1, keepdims=True)
 
 
+def _causal_attend(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                   scale: float, slopes: np.ndarray | None) -> np.ndarray:
+    """Attend the trailing ``t_new`` queries to the full key/value run.
+
+    Shapes: ``q`` is ``(heads, t_new, head_dim)``; ``k``/``v`` are
+    ``(heads, t_total, head_dim)`` with the new positions last.
+    ``slopes`` enables ALiBi when not None.  Shared by the single-
+    stream engine and the multi-adapter serving engine so both decode
+    with bit-identical masking and softmax.
+    """
+    t_new, t_total = q.shape[1], k.shape[1]
+    scores = (q @ k.transpose(0, 2, 1)) * scale  # (H, t_new, t_total)
+    q_pos = np.arange(t_total - t_new, t_total)
+    k_pos = np.arange(t_total)
+    relative = k_pos[None, :] - q_pos[:, None]  # (t_new, t_total), <=0 visible
+    if slopes is not None:
+        bias = slopes[:, None, None] * relative[None, :, :]
+    else:
+        bias = np.zeros((1, t_new, t_total), dtype=np.float32)
+    scores = scores + np.where(relative[None, :, :] > 0, -1e9, bias)
+    weights = _softmax(scores.astype(np.float32))
+    return weights @ v  # (H, t_new, head_dim)
+
+
+def _snapshot_linear(layer) -> tuple[np.ndarray, np.ndarray]:
+    """``(weight, bias)`` copies of a dense or LoRA-wrapped Linear.
+
+    LoRA adapters are folded via ``merged_weight()`` (a fresh array),
+    leaving the wrapped layer untouched.  Bias-free layers are not a
+    shape this engine decodes.
+    """
+    if isinstance(layer, LoRALinear):
+        if layer._frozen_bias is None:
+            raise ValueError("InferenceEngine requires standard dense blocks")
+        return layer.merged_weight(), layer._frozen_bias.data.copy()
+    if getattr(layer, "bias", None) is None:
+        raise ValueError("InferenceEngine requires standard dense blocks")
+    return layer.weight.data.copy(), layer.bias.data.copy()
+
+
 class _BlockWeights:
-    """Dense snapshot of one transformer block."""
+    """Dense snapshot of one transformer block (arrays copied, LoRA
+    adapters folded)."""
 
     def __init__(self, block):
-        self.ln1_g = block.ln1.gamma.data
-        self.ln1_b = block.ln1.beta.data
-        self.qkv_w = block.attn.qkv.weight.data
-        self.qkv_b = block.attn.qkv.bias.data
-        self.proj_w = block.attn.proj.weight.data
-        self.proj_b = block.attn.proj.bias.data
-        self.ln2_g = block.ln2.gamma.data
-        self.ln2_b = block.ln2.beta.data
-        self.up_w = block.mlp.up.weight.data
-        self.up_b = block.mlp.up.bias.data
-        self.down_w = block.mlp.down.weight.data
-        self.down_b = block.mlp.down.bias.data
+        self.ln1_g = block.ln1.gamma.data.copy()
+        self.ln1_b = block.ln1.beta.data.copy()
+        self.qkv_w, self.qkv_b = _snapshot_linear(block.attn.qkv)
+        self.proj_w, self.proj_b = _snapshot_linear(block.attn.proj)
+        self.ln2_g = block.ln2.gamma.data.copy()
+        self.ln2_b = block.ln2.beta.data.copy()
+        self.up_w, self.up_b = _snapshot_linear(block.mlp.up)
+        self.down_w, self.down_b = _snapshot_linear(block.mlp.down)
 
 
 class InferenceEngine:
@@ -69,8 +116,7 @@ class InferenceEngine:
 
     def __init__(self, model: DecoderLM):
         cfg = model.config
-        if any(not hasattr(block.attn, "qkv") or block.attn.qkv.bias is None
-               for block in model.blocks):
+        if any(not hasattr(block.attn, "qkv") for block in model.blocks):
             raise ValueError("InferenceEngine requires standard dense blocks")
         self.config = cfg
         self.n_heads = cfg.n_heads
@@ -79,13 +125,13 @@ class InferenceEngine:
         self.alibi = cfg.alibi
         self.slopes = alibi_slopes(cfg.n_heads) if cfg.alibi else None
 
-        self.emb = model.tok_emb.weight.data
+        self.emb = model.tok_emb.weight.data.copy()
         self.blocks = [_BlockWeights(b) for b in model.blocks]
-        self.ln_f_g = model.ln_f.gamma.data
-        self.ln_f_b = model.ln_f.beta.data
+        self.ln_f_g = model.ln_f.gamma.data.copy()
+        self.ln_f_b = model.ln_f.beta.data.copy()
         head = (model.lm_head_weight.data if model.lm_head_weight is not None
                 else model.tok_emb.weight.data)
-        self.head = head
+        self.head = head.copy()
         self.reset()
 
     # ------------------------------------------------------------------
@@ -110,21 +156,8 @@ class InferenceEngine:
         """
         self._k[layer] = np.concatenate([self._k[layer], k_new], axis=1)
         self._v[layer] = np.concatenate([self._v[layer], v_new], axis=1)
-        k, v = self._k[layer], self._v[layer]
-        t_new, t_total = q.shape[1], k.shape[1]
-
-        scores = (q @ k.transpose(0, 2, 1)) * self.scale  # (H, t_new, t_total)
-        # Positions of the new queries and all keys.
-        q_pos = np.arange(t_total - t_new, t_total)
-        k_pos = np.arange(t_total)
-        relative = k_pos[None, :] - q_pos[:, None]  # (t_new, t_total), <=0 visible
-        if self.alibi:
-            bias = self.slopes[:, None, None] * relative[None, :, :]
-        else:
-            bias = np.zeros((1, t_new, t_total), dtype=np.float32)
-        scores = scores + np.where(relative[None, :, :] > 0, -1e9, bias)
-        weights = _softmax(scores.astype(np.float32))
-        return weights @ v  # (H, t_new, head_dim)
+        return _causal_attend(q, self._k[layer], self._v[layer],
+                              self.scale, self.slopes)
 
     def _forward_tokens(self, tokens: np.ndarray) -> np.ndarray:
         """Run ``tokens`` (1-D) through the stack, extending the cache;

@@ -1,0 +1,29 @@
+"""Multi-tenant serving of the federated model.
+
+The end state of the paper's pipeline: the global model trained by
+federated pre-training, served to many users at once, each with the
+personal LoRA adapter their on-device rounds produced.  One engine
+snapshot, K concurrent streams, adapters applied in factored form per
+request — see :mod:`repro.serve.engine` for the batching scheme,
+:mod:`repro.serve.cache` for the bounded adapter residency rules, and
+:mod:`repro.serve.replay` for the trace-driven load harness behind
+``repro serve`` and ``benchmarks/bench_serving.py``.
+"""
+
+from .adapters import Adapter, synthetic_adapter
+from .cache import AdapterCache
+from .engine import MultiAdapterEngine, StaleAdapterError, sample_token
+from .replay import ReplayResult, Request, RequestReplayer, SyntheticTrace
+
+__all__ = [
+    "Adapter",
+    "AdapterCache",
+    "MultiAdapterEngine",
+    "ReplayResult",
+    "Request",
+    "RequestReplayer",
+    "StaleAdapterError",
+    "SyntheticTrace",
+    "sample_token",
+    "synthetic_adapter",
+]

@@ -1,0 +1,105 @@
+"""Per-tenant LoRA adapters in serving (factored) form.
+
+A federated personalization round leaves each user a tiny
+``lora_state_dict`` payload (Section 6's cross-device recipe).  The
+serving path never folds those deltas into dense weights — an
+:class:`Adapter` keeps the per-slot ``(A, B)`` factors so the batched
+engine can apply ``(x A) B · α/r`` per request on top of one shared
+base forward, and so the resident-set accounting stays proportional to
+``r · (in + out)`` instead of ``in · out``.
+
+Every adapter records the **base checkpoint version** it was trained
+against; the engine and cache use it to refuse serving an adapter on a
+different base (see :class:`repro.serve.engine.StaleAdapterError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Adapter", "synthetic_adapter"]
+
+#: Per-block linear slots, in ``repro.nn.lora._iter_linear_slots`` order.
+_SLOT_NAMES = ("qkv", "proj", "up", "down")
+
+
+@dataclass(frozen=True)
+class Adapter:
+    """One tenant's low-rank delta over the global model.
+
+    ``pairs[s]`` is the ``(A, B)`` factor pair of linear slot ``s``
+    (block-major: qkv, proj, up, down per block); the applied delta is
+    ``(x @ A) @ B * alpha / rank_s``.
+    """
+
+    adapter_id: str
+    base_version: int
+    alpha: float
+    pairs: tuple[tuple[np.ndarray, np.ndarray], ...]
+
+    @classmethod
+    def from_state_dict(cls, adapter_id: str, state: dict[str, np.ndarray],
+                        base_version: int, alpha: float = 16.0) -> "Adapter":
+        """Build from a :func:`repro.nn.lora.lora_state_dict` payload."""
+        if not state or len(state) % (2 * len(_SLOT_NAMES)):
+            raise ValueError(
+                f"adapter state has {len(state)} arrays; expected a and b "
+                f"for {len(_SLOT_NAMES)} slots per block"
+            )
+        n_slots = len(state) // 2
+        pairs = []
+        for i in range(n_slots):
+            name = _SLOT_NAMES[i % len(_SLOT_NAMES)]
+            try:
+                a = np.asarray(state[f"lora{i}.{name}.a"])
+                b = np.asarray(state[f"lora{i}.{name}.b"])
+            except KeyError as exc:
+                raise ValueError(f"adapter state is missing {exc.args[0]}") from None
+            if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+                raise ValueError(
+                    f"slot {i} ({name}): incompatible factor shapes "
+                    f"{a.shape} x {b.shape}"
+                )
+            pairs.append((a, b))
+        return cls(adapter_id, int(base_version), float(alpha), tuple(pairs))
+
+    # ------------------------------------------------------------------
+    def scaling(self, slot: int) -> float:
+        """``alpha / rank`` of one slot (ranks may differ per slot)."""
+        return self.alpha / self.pairs[slot][0].shape[1]
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def rank(self) -> int:
+        return self.pairs[0][0].shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes (what the cache budget counts)."""
+        return sum(a.nbytes + b.nbytes for a, b in self.pairs)
+
+
+def synthetic_adapter(template: dict[str, np.ndarray], user_id: int,
+                      base_version: int, *, alpha: float = 16.0,
+                      scale: float = 0.05, seed: int = 0) -> Adapter:
+    """A seeded stand-in for one user's personalization round.
+
+    ``template`` fixes the key set and shapes (take it from
+    ``lora_state_dict(apply_lora(model, rank))``); the factors are
+    drawn from a per-``(seed, user_id)`` stream, so the same user
+    always gets the same adapter — what makes replayed traffic
+    deterministic without running real fine-tuning per user.
+    """
+    rng = np.random.default_rng([seed, user_id])
+    state = {
+        key: (rng.standard_normal(value.shape) * scale).astype(
+            value.dtype, copy=False)
+        for key, value in template.items()
+    }
+    return Adapter.from_state_dict(f"user{user_id}", state, base_version,
+                                   alpha=alpha)

@@ -1,0 +1,145 @@
+"""LRU adapter cache with pin-protection and base-version invalidation.
+
+Millions of users cannot all keep their adapters resident; the cache
+bounds the resident set to ``capacity`` adapters, evicting in LRU
+order.  Two rules make it safe for serving:
+
+* **pins win over eviction** — an adapter pinned by an in-flight
+  request is never evicted, even if that leaves the cache temporarily
+  over capacity (it shrinks back as pins release);
+* **version invalidation** — a lookup that names the serving base
+  version treats an adapter trained against a different checkpoint as
+  a miss and drops it (unless pinned), so a federated base update
+  forces re-personalization instead of silently mixing versions.
+
+Counters (`hits`/`misses`/`evictions`/`stale_drops`) are mirrored into
+the obs meter registry under ``serve/cache_*`` plus the
+``serve/adapters_resident`` / ``serve/adapter_bytes`` gauges.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..obs.meters import NULL_METERS
+from .adapters import Adapter
+
+__all__ = ["AdapterCache"]
+
+
+class AdapterCache:
+    """Bounded LRU store of :class:`~repro.serve.adapters.Adapter`."""
+
+    def __init__(self, capacity: int, meters=None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.meters = meters if meters is not None else NULL_METERS
+        self._entries: OrderedDict[str, Adapter] = OrderedDict()
+        self._pins: dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stale_drops = 0
+
+    # ------------------------------------------------------------------
+    def get(self, adapter_id: str, base_version: int | None = None) -> Adapter | None:
+        """Look up an adapter; None on miss.
+
+        With ``base_version`` given, an entry trained against any other
+        base counts as a miss and is dropped (kept resident only while
+        pinned by an in-flight request).
+        """
+        entry = self._entries.get(adapter_id)
+        if (entry is not None and base_version is not None
+                and entry.base_version != int(base_version)):
+            self.stale_drops += 1
+            self.meters.counter("serve/cache_stale_drops").inc()
+            if adapter_id not in self._pins:
+                del self._entries[adapter_id]
+                self._update_gauges()
+            entry = None
+        if entry is None:
+            self.misses += 1
+            self.meters.counter("serve/cache_misses").inc()
+            return None
+        self.hits += 1
+        self.meters.counter("serve/cache_hits").inc()
+        self._entries.move_to_end(adapter_id)
+        return entry
+
+    def put(self, adapter: Adapter, *, pin: bool = False) -> None:
+        """Insert (or refresh) an adapter as most-recently-used.
+
+        ``pin=True`` pins it before the shrink runs, so an admission
+        into a fully-pinned cache cannot evict its own adapter.
+        """
+        self._entries[adapter.adapter_id] = adapter
+        self._entries.move_to_end(adapter.adapter_id)
+        if pin:
+            self._pins[adapter.adapter_id] = (
+                self._pins.get(adapter.adapter_id, 0) + 1)
+        self._shrink()
+        self._update_gauges()
+
+    # ------------------------------------------------------------------
+    def pin(self, adapter_id: str) -> None:
+        """Protect a resident adapter from eviction (refcounted)."""
+        if adapter_id not in self._entries:
+            raise KeyError(f"adapter {adapter_id!r} is not resident")
+        self._pins[adapter_id] = self._pins.get(adapter_id, 0) + 1
+
+    def unpin(self, adapter_id: str) -> None:
+        count = self._pins.get(adapter_id, 0)
+        if count <= 0:
+            raise KeyError(f"adapter {adapter_id!r} is not pinned")
+        if count == 1:
+            del self._pins[adapter_id]
+        else:
+            self._pins[adapter_id] = count - 1
+        self._shrink()
+        self._update_gauges()
+
+    def pinned(self, adapter_id: str) -> bool:
+        return adapter_id in self._pins
+
+    # ------------------------------------------------------------------
+    def _shrink(self) -> None:
+        # Oldest-first, skipping pins; over-capacity residue drains as
+        # in-flight requests release their pins.
+        for adapter_id in list(self._entries):
+            if len(self._entries) <= self.capacity:
+                break
+            if adapter_id in self._pins:
+                continue
+            del self._entries[adapter_id]
+            self.evictions += 1
+            self.meters.counter("serve/cache_evictions").inc()
+
+    def _update_gauges(self) -> None:
+        self.meters.gauge("serve/adapters_resident").set(len(self._entries))
+        self.meters.gauge("serve/adapter_bytes").set(self.resident_bytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def resident(self) -> int:
+        return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(a.nbytes for a in self._entries.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __contains__(self, adapter_id: str) -> bool:
+        return adapter_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AdapterCache({self.resident}/{self.capacity} resident, "
+                f"{len(self._pins)} pinned, {self.resident_bytes:,} B)")

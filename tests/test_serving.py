@@ -1,0 +1,507 @@
+"""Multi-tenant serving: batched adapter engine, cache, replayer —
+plus regressions for the LoRA-era inference and personalization bugs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, OptimConfig
+from repro.data import CachedTokenStream, SyntheticC4
+from repro.fed import personalize
+from repro.nn import (
+    DecoderLM,
+    InferenceEngine,
+    apply_lora,
+    load_lora_state_dict,
+    lora_state_dict,
+    merge_lora,
+)
+from repro.obs import MeterRegistry, Tracer
+from repro.serve import (
+    Adapter,
+    AdapterCache,
+    MultiAdapterEngine,
+    RequestReplayer,
+    StaleAdapterError,
+    SyntheticTrace,
+    synthetic_adapter,
+)
+
+CFG = ModelConfig("micro", n_blocks=2, d_model=16, n_heads=2, vocab_size=32,
+                  seq_len=24)
+OPTIM = OptimConfig(max_lr=3e-3, warmup_steps=2, schedule_steps=64,
+                    batch_size=4, weight_decay=0.0)
+RANK = 2
+VERSION = 5
+
+
+def make_stream(batch=4, seed=0):
+    c4 = SyntheticC4(num_shards=2, vocab=CFG.vocab_size, seed=1)
+    return CachedTokenStream(c4.shard(0), batch_size=batch,
+                             seq_len=CFG.seq_len, cache_tokens=2048, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def base_model():
+    return DecoderLM(CFG, seed=0)
+
+
+@pytest.fixture(scope="module")
+def template():
+    probe = DecoderLM(CFG, seed=0)
+    apply_lora(probe, rank=RANK, seed=1)
+    return lora_state_dict(probe)
+
+
+def make_adapter(template, user, version=VERSION, **kw):
+    return synthetic_adapter(template, user, version, **kw)
+
+
+def merged_reference(adapter):
+    """The sequential path: fold the adapter densely, one engine per
+    request (what serving replaces)."""
+    model = DecoderLM(CFG, seed=0)
+    apply_lora(model, rank=RANK, seed=1)
+    names = ("qkv", "proj", "up", "down")
+    load_lora_state_dict(model, {
+        f"lora{i}.{names[i % 4]}.{part}": arr
+        for i, pair in enumerate(adapter.pairs)
+        for part, arr in zip("ab", pair)
+    })
+    merge_lora(model)
+    return InferenceEngine(model)
+
+
+class TestAdapter:
+    def test_from_state_dict_roundtrip(self, template):
+        adapter = Adapter.from_state_dict("u", template, 3)
+        assert adapter.n_slots == 4 * CFG.n_blocks
+        assert adapter.rank == RANK
+        assert adapter.base_version == 3
+        assert adapter.nbytes == sum(v.nbytes for v in template.values())
+
+    def test_scaling_is_alpha_over_rank(self, template):
+        adapter = Adapter.from_state_dict("u", template, 0, alpha=16.0)
+        assert adapter.scaling(0) == pytest.approx(16.0 / RANK)
+
+    def test_malformed_state_rejected(self, template):
+        with pytest.raises(ValueError):
+            Adapter.from_state_dict("u", {}, 0)
+        bad = dict(template)
+        del bad["lora0.qkv.a"]
+        bad["lora99.qkv.a"] = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            Adapter.from_state_dict("u", bad, 0)
+
+    def test_synthetic_adapter_deterministic(self, template):
+        a1 = make_adapter(template, 3, seed=9)
+        a2 = make_adapter(template, 3, seed=9)
+        other = make_adapter(template, 4, seed=9)
+        for (x1, y1), (x2, y2) in zip(a1.pairs, a2.pairs):
+            np.testing.assert_array_equal(x1, x2)
+            np.testing.assert_array_equal(y1, y2)
+        assert any(not np.array_equal(p1[0], p2[0])
+                   for p1, p2 in zip(a1.pairs, other.pairs))
+
+
+class TestMultiAdapterEngine:
+    def test_batched_matches_sequential_merge(self, base_model, template, rng):
+        """The core guarantee: K-stream factored serving equals
+        per-request merge-and-decode, request by request."""
+        engine = MultiAdapterEngine(base_model, base_version=VERSION,
+                                    max_streams=3)
+        requests = {
+            f"r{u}": (make_adapter(template, u),
+                      rng.integers(2, CFG.vocab_size, size=4 + u))
+            for u in range(3)
+        }
+        batched = engine.generate_batch(requests, max_new_tokens=8)
+        for rid, (adapter, prompt) in requests.items():
+            reference = merged_reference(adapter).generate(
+                prompt, max_new_tokens=8, temperature=0.0)
+            np.testing.assert_array_equal(batched[rid], reference)
+
+    def test_batched_logits_close_to_merged(self, base_model, template, rng):
+        engine = MultiAdapterEngine(base_model, base_version=VERSION,
+                                    max_streams=2)
+        adapter = make_adapter(template, 0)
+        prompt = rng.integers(2, CFG.vocab_size, size=6)
+        engine.open("r", adapter)
+        factored = engine.prefill("r", prompt)
+        merged = merged_reference(adapter).prefill(prompt)
+        np.testing.assert_allclose(factored, merged, rtol=1e-4, atol=1e-4)
+
+    def test_shared_adapter_rows_grouped(self, base_model, template, rng):
+        """Two requests from the same tenant share one adapter group
+        and still decode exactly like separate merged engines."""
+        engine = MultiAdapterEngine(base_model, base_version=VERSION,
+                                    max_streams=2)
+        adapter = make_adapter(template, 7)
+        p1 = rng.integers(2, CFG.vocab_size, size=5)
+        p2 = rng.integers(2, CFG.vocab_size, size=8)
+        out = engine.generate_batch(
+            {"a": (adapter, p1), "b": (adapter, p2)}, max_new_tokens=6)
+        ref = merged_reference(adapter)
+        np.testing.assert_array_equal(
+            out["a"], ref.generate(p1, max_new_tokens=6, temperature=0.0))
+        np.testing.assert_array_equal(
+            out["b"], ref.generate(p2, max_new_tokens=6, temperature=0.0))
+
+    def test_no_adapter_matches_base_engine(self, base_model, rng):
+        engine = MultiAdapterEngine(base_model, max_streams=1)
+        prompt = rng.integers(2, CFG.vocab_size, size=6)
+        out = engine.generate_batch({"r": (None, prompt)}, max_new_tokens=8)
+        ref = InferenceEngine(base_model).generate(prompt, max_new_tokens=8,
+                                                   temperature=0.0)
+        np.testing.assert_array_equal(out["r"], ref)
+
+    def test_stale_adapter_rejected(self, base_model, template):
+        engine = MultiAdapterEngine(base_model, base_version=VERSION)
+        stale = make_adapter(template, 0, version=VERSION - 1)
+        with pytest.raises(StaleAdapterError):
+            engine.open("r", stale)
+        assert engine.active == 0
+
+    def test_shape_mismatch_rejected(self, base_model, template):
+        engine = MultiAdapterEngine(base_model, base_version=VERSION)
+        adapter = make_adapter(template, 0)
+        wrong = Adapter(adapter.adapter_id, adapter.base_version,
+                        adapter.alpha, adapter.pairs[:4])
+        with pytest.raises(ValueError):
+            engine.open("r", wrong)
+
+    def test_stream_lifecycle(self, base_model, template, rng):
+        engine = MultiAdapterEngine(base_model, base_version=VERSION,
+                                    max_streams=1)
+        engine.open("r", make_adapter(template, 0))
+        with pytest.raises(ValueError):
+            engine.open("r", None)  # duplicate id
+        with pytest.raises(RuntimeError):
+            engine.open("r2", None)  # over capacity
+        engine.close("r")
+        with pytest.raises(KeyError):
+            engine.close("r")
+        engine.open("r2", None)  # slot freed
+        with pytest.raises(KeyError):
+            engine.prefill("ghost", rng.integers(0, CFG.vocab_size, size=3))
+
+    def test_lora_wrapped_base_rejected(self):
+        model = DecoderLM(CFG, seed=0)
+        apply_lora(model, rank=RANK)
+        with pytest.raises(ValueError):
+            MultiAdapterEngine(model)
+
+    def test_snapshot_isolated_from_training(self, base_model, template, rng):
+        """Mutating the live model after engine construction must not
+        change what the engine serves."""
+        model = DecoderLM(CFG, seed=3)
+        engine = MultiAdapterEngine(model, base_version=VERSION)
+        prompt = rng.integers(2, CFG.vocab_size, size=5)
+        engine.open("r", make_adapter(template, 0))
+        before = engine.prefill("r", prompt).copy()
+        for p in model.parameters():
+            p.data += 1.0
+        engine.close("r")
+        engine.open("r", make_adapter(template, 0))
+        np.testing.assert_array_equal(engine.prefill("r", prompt), before)
+
+
+class TestAdapterCache:
+    def test_lru_eviction_order(self, template):
+        cache = AdapterCache(capacity=2)
+        for user in range(3):
+            cache.put(make_adapter(template, user))
+        assert "user0" not in cache
+        assert "user1" in cache and "user2" in cache
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self, template):
+        cache = AdapterCache(capacity=2)
+        cache.put(make_adapter(template, 0))
+        cache.put(make_adapter(template, 1))
+        cache.get("user0", base_version=VERSION)
+        cache.put(make_adapter(template, 2))
+        assert "user0" in cache and "user1" not in cache
+
+    def test_pinned_never_evicted(self, template):
+        """Satellite guarantee: eviction pressure cannot remove an
+        adapter an in-flight request holds pinned."""
+        cache = AdapterCache(capacity=1)
+        cache.put(make_adapter(template, 0), pin=True)
+        for user in range(1, 5):
+            cache.put(make_adapter(template, user))
+        assert "user0" in cache
+        cache.unpin("user0")
+        cache.put(make_adapter(template, 9))
+        assert "user0" not in cache
+
+    def test_put_pin_survives_fully_pinned_cache(self, template):
+        """An admission into a cache whose whole capacity is pinned
+        must not evict its own adapter (it rides over capacity)."""
+        cache = AdapterCache(capacity=2)
+        cache.put(make_adapter(template, 0), pin=True)
+        cache.put(make_adapter(template, 1), pin=True)
+        cache.put(make_adapter(template, 2), pin=True)
+        assert cache.resident == 3  # temporarily over capacity
+        cache.unpin("user0")
+        cache.unpin("user1")
+        cache.unpin("user2")
+        assert cache.resident == cache.capacity
+
+    def test_stale_version_is_miss_and_dropped(self, template):
+        """Satellite guarantee: a lookup naming the serving base never
+        returns an adapter trained against another checkpoint."""
+        cache = AdapterCache(capacity=4)
+        cache.put(make_adapter(template, 0, version=VERSION - 1))
+        assert cache.get("user0", base_version=VERSION) is None
+        assert cache.stale_drops == 1
+        assert "user0" not in cache  # dropped, forces re-personalization
+        # Unversioned lookups still see whatever is resident.
+        cache.put(make_adapter(template, 1, version=VERSION - 1))
+        assert cache.get("user1") is not None
+
+    def test_pin_requires_residency_and_balances(self, template):
+        cache = AdapterCache(capacity=2)
+        with pytest.raises(KeyError):
+            cache.pin("user0")
+        cache.put(make_adapter(template, 0))
+        cache.pin("user0")
+        cache.pin("user0")
+        cache.unpin("user0")
+        assert cache.pinned("user0")
+        cache.unpin("user0")
+        with pytest.raises(KeyError):
+            cache.unpin("user0")
+
+    def test_hit_rate_and_bytes(self, template):
+        cache = AdapterCache(capacity=2)
+        adapter = make_adapter(template, 0)
+        cache.put(adapter)
+        cache.get("user0", base_version=VERSION)
+        cache.get("user1", base_version=VERSION)
+        assert cache.hit_rate == pytest.approx(0.5)
+        assert cache.resident_bytes == adapter.nbytes
+
+    def test_meters_mirrored(self, template):
+        meters = MeterRegistry()
+        cache = AdapterCache(capacity=1, meters=meters)
+        cache.put(make_adapter(template, 0))
+        cache.put(make_adapter(template, 1))
+        cache.get("user1", base_version=VERSION)
+        cache.get("user0", base_version=VERSION)
+        snap = meters.snapshot()
+        assert snap["serve/cache_hits"] == 1
+        assert snap["serve/cache_misses"] == 1
+        assert snap["serve/cache_evictions"] == 1
+        assert snap["serve/adapters_resident"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AdapterCache(capacity=0)
+
+
+class TestReplayer:
+    def run_replay(self, base_model, template, *, capacity=3, batch=4,
+                   n_requests=12, tracer=None, temperature=0.0, seed=0):
+        engine = MultiAdapterEngine(base_model, base_version=VERSION,
+                                    max_streams=batch, tracer=tracer)
+        cache = AdapterCache(capacity,
+                             meters=tracer.meters if tracer else None)
+        replayer = RequestReplayer(
+            engine, cache, lambda u: make_adapter(template, u),
+            batch_size=batch, temperature=temperature, seed=seed,
+            tracer=tracer)
+        trace = SyntheticTrace(n_requests, 5, vocab_size=CFG.vocab_size,
+                               seed=0)
+        return replayer.run(trace)
+
+    def test_trace_seeded_and_zipf_skewed(self):
+        t1 = SyntheticTrace(50, 10, vocab_size=CFG.vocab_size, seed=4)
+        t2 = SyntheticTrace(50, 10, vocab_size=CFG.vocab_size, seed=4)
+        for r1, r2 in zip(t1, t2):
+            assert r1.user_id == r2.user_id
+            np.testing.assert_array_equal(r1.prompt, r2.prompt)
+        counts = np.bincount([r.user_id for r in t1], minlength=10)
+        assert counts[0] > counts[5:].max()  # head user dominates the tail
+
+    def test_replay_deterministic(self, base_model, template):
+        """Satellite guarantee: a fixed seed fixes every output token,
+        independent of the host's timing."""
+        r1 = self.run_replay(base_model, template)
+        r2 = self.run_replay(base_model, template)
+        assert r1.outputs.keys() == r2.outputs.keys()
+        for rid in r1.outputs:
+            np.testing.assert_array_equal(r1.outputs[rid], r2.outputs[rid])
+
+    def test_replay_deterministic_when_sampling(self, base_model, template):
+        r1 = self.run_replay(base_model, template, temperature=0.9, seed=11)
+        r2 = self.run_replay(base_model, template, temperature=0.9, seed=11)
+        for rid in r1.outputs:
+            np.testing.assert_array_equal(r1.outputs[rid], r2.outputs[rid])
+
+    def test_replay_outputs_match_sequential(self, base_model, template):
+        """Every replayed request decodes exactly as its own merged
+        engine would have."""
+        result = self.run_replay(base_model, template, n_requests=8)
+        trace = SyntheticTrace(8, 5, vocab_size=CFG.vocab_size, seed=0)
+        for request in trace:
+            adapter = make_adapter(template, request.user_id)
+            expected = merged_reference(adapter).generate(
+                request.prompt, request.max_new_tokens, temperature=0.0)
+            np.testing.assert_array_equal(result.outputs[request.request_id],
+                                          expected)
+
+    def test_metrics_populated(self, base_model, template):
+        result = self.run_replay(base_model, template, n_requests=12)
+        assert result.requests == 12
+        assert result.waves == 3
+        assert result.tokens_out > 0
+        assert result.p99_ms >= result.p50_ms > 0
+        assert result.tokens_per_s > 0
+        assert result.cache_hits + result.cache_misses == 12
+        assert 0 < result.cache_hit_rate < 1
+        assert result.adapters_resident <= 3
+        assert result.adapter_bytes > 0
+        assert len(result.latencies_ms) == 12
+        d = result.as_dict()
+        assert {"p50_ms", "p99_ms", "tokens_per_s", "cache_hit_rate",
+                "adapter_bytes"} <= d.keys()
+
+    def test_tracer_spans_and_meters(self, base_model, template, tmp_path):
+        tracer = Tracer(tmp_path / "serve.json")
+        self.run_replay(base_model, template, tracer=tracer, n_requests=8)
+        summary = tracer.summary()
+        assert summary["host_spans"] >= 2 * 3 + 8  # wave phases + requests
+        meters = summary["meters"]
+        assert meters["serve/requests"] == 8
+        assert meters["serve/latency_ms"]["count"] == 8
+        assert meters["serve/tokens_out"] > 0
+        assert tracer.export() is not None
+
+    def test_tracing_does_not_change_outputs(self, base_model, template,
+                                             tmp_path):
+        plain = self.run_replay(base_model, template)
+        traced = self.run_replay(base_model, template,
+                                 tracer=Tracer(tmp_path / "t.json"))
+        for rid in plain.outputs:
+            np.testing.assert_array_equal(plain.outputs[rid],
+                                          traced.outputs[rid])
+
+    def test_batch_size_validated(self, base_model, template):
+        engine = MultiAdapterEngine(base_model, base_version=VERSION,
+                                    max_streams=2)
+        cache = AdapterCache(2)
+        with pytest.raises(ValueError):
+            RequestReplayer(engine, cache, lambda u: None, batch_size=4)
+
+
+class TestInferenceSnapshotRegressions:
+    """The two InferenceEngine construction bugs this PR fixes."""
+
+    def test_engine_accepts_lora_wrapped_model(self, rng):
+        """Regression: the dense-block guard evaluated ``qkv.bias`` on
+        LoRALinear (no ``bias`` attribute) and crashed with
+        AttributeError instead of serving the adapted model."""
+        model = DecoderLM(CFG, seed=0)
+        apply_lora(model, rank=RANK, seed=1)
+        model.blocks._blocks[0].attn.qkv.lora_b.data += 0.05
+        engine = InferenceEngine(model)  # used to raise AttributeError
+        prompt = rng.integers(2, CFG.vocab_size, size=6)
+        expected = model(prompt[None, :]).data[0, -1]
+        np.testing.assert_allclose(engine.prefill(prompt), expected,
+                                   rtol=1e-4, atol=1e-4)
+
+    def test_lora_engine_matches_merged_engine(self, rng):
+        model = DecoderLM(CFG, seed=0)
+        apply_lora(model, rank=RANK, seed=1)
+        model.blocks._blocks[0].mlp.up.lora_b.data += 0.03
+        prompt = rng.integers(2, CFG.vocab_size, size=5)
+        direct = InferenceEngine(model).generate(prompt, max_new_tokens=6,
+                                                 temperature=0.0)
+        merge_lora(model)
+        merged = InferenceEngine(model).generate(prompt, max_new_tokens=6,
+                                                 temperature=0.0)
+        np.testing.assert_array_equal(direct, merged)
+
+    def test_engine_construction_leaves_model_unchanged(self):
+        model = DecoderLM(CFG, seed=0)
+        apply_lora(model, rank=RANK, seed=1)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        InferenceEngine(model)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(after[key], before[key])
+        assert isinstance(model.blocks._blocks[0].attn.qkv,
+                          type(model.blocks._blocks[1].attn.qkv))
+
+    def test_snapshot_not_aliased_to_live_weights(self, rng):
+        """Regression: ``_BlockWeights`` kept references to the live
+        ``.data`` arrays, so training the model mutated a running
+        engine's "snapshot" in place."""
+        model = DecoderLM(CFG, seed=0)
+        engine = InferenceEngine(model)
+        prompt = rng.integers(2, CFG.vocab_size, size=6)
+        before = engine.prefill(prompt).copy()
+        for p in model.parameters():
+            p.data += 0.5  # in-place, the aliasing failure mode
+        engine.reset()
+        np.testing.assert_array_equal(engine.prefill(prompt), before)
+
+    def test_missing_qkv_still_rejected(self):
+        class Fake:
+            pass
+
+        model = DecoderLM(CFG, seed=0)
+        block = model.blocks._blocks[0]
+        orig = block.attn
+        block.attn = Fake()
+        try:
+            with pytest.raises(ValueError):
+                InferenceEngine(model)
+        finally:
+            block.attn = orig
+
+
+class TestPersonalizeEvalRegression:
+    """The eval-stream drift bug this PR fixes."""
+
+    def test_zero_lr_reports_zero_improvement(self):
+        """Regression: with the default ``eval_stream = stream``,
+        training advanced the shared iterator between the before/after
+        readings, so even a no-op fine-tune (lr=0) reported a spurious
+        improvement from comparing different batches."""
+        model = DecoderLM(CFG, seed=0)
+        frozen = OptimConfig(max_lr=0.0, warmup_steps=2, schedule_steps=64,
+                             batch_size=4, weight_decay=0.0)
+        result = personalize(model.state_dict(), CFG, make_stream(seed=3),
+                             steps=5, optim=frozen)
+        assert result.ppl_after == pytest.approx(result.ppl_before, rel=1e-6)
+        assert result.improvement == pytest.approx(0.0, abs=1e-6)
+
+    def test_eval_stream_position_restored(self):
+        model = DecoderLM(CFG, seed=0)
+        eval_stream = make_stream(seed=11)
+        baseline = eval_stream.state_dict()
+        personalize(model.state_dict(), CFG, make_stream(seed=3), steps=3,
+                    optim=OPTIM, eval_stream=eval_stream)
+        # The after-eval re-read the same batches the before-eval saw:
+        # the stream advanced past them exactly once.
+        resumed = eval_stream.state_dict()
+        assert resumed["tokens_served"] > baseline["tokens_served"]
+
+    def test_non_checkpointable_eval_stream_rejected(self):
+        class Plain:
+            def next_batch(self):  # pragma: no cover - never reached
+                raise AssertionError
+
+        model = DecoderLM(CFG, seed=0)
+        with pytest.raises(TypeError):
+            personalize(model.state_dict(), CFG, make_stream(seed=3),
+                        steps=1, optim=OPTIM, eval_stream=Plain())
+
+    def test_real_finetune_still_improves(self):
+        model = DecoderLM(CFG, seed=0)
+        result = personalize(model.state_dict(), CFG, make_stream(seed=3),
+                             steps=12, optim=OPTIM)
+        assert result.ppl_after < result.ppl_before
